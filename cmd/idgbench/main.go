@@ -1,0 +1,70 @@
+// Command idgbench regenerates every table and figure of the paper's
+// evaluation (Section VI). Each experiment prints the same rows or
+// series the paper reports: modelled platform numbers are derived
+// from exact operation counts plus the calibrated platform models
+// (see EXPERIMENTS.md), and the "plan" experiment builds the paper's
+// full-size execution plan to verify the closed-form counts.
+//
+// Usage:
+//
+//	idgbench -experiment all
+//	idgbench -experiment table1,fig9,fig10
+//	idgbench -experiment fig8 -scale 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(scale float64)
+}{
+	{"table1", "Table I: the three architectures", runTable1},
+	{"fig8", "Fig. 8: uv coverage of the test data set", runFig8},
+	{"fig9", "Fig. 9: runtime distribution of one imaging cycle", runFig9},
+	{"fig10", "Fig. 10: gridding/degridding throughput", runFig10},
+	{"fig11", "Fig. 11: device-memory roofline", runFig11},
+	{"fig12", "Fig. 12: ops throughput vs FMA/sincos mix", runFig12},
+	{"fig13", "Fig. 13: shared-memory roofline", runFig13},
+	{"fig14", "Fig. 14: energy distribution of one imaging cycle", runFig14},
+	{"fig15", "Fig. 15: energy efficiency of the kernels", runFig15},
+	{"fig16", "Fig. 16: IDG vs W-projection throughput", runFig16},
+	{"fig7", "Fig. 7: triple-buffering pipeline timeline", runFig7},
+	{"plan", "full-size execution plan statistics (Section VI-A)", runPlanStats},
+	{"measured", "wall-clock Go kernel measurements (scaled dataset)", runMeasured},
+}
+
+func main() {
+	list := flag.String("experiment", "all",
+		"comma-separated experiment list (all, table1, fig7-fig16, plan, measured)")
+	scale := flag.Float64("scale", 1.0,
+		"dataset scale factor for experiments that run real code")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, s := range strings.Split(*list, ",") {
+		selected[strings.TrimSpace(s)] = true
+	}
+	ran := 0
+	for _, e := range experiments {
+		if !selected["all"] && !selected[e.name] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.name, e.desc)
+		e.run(*scale)
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known:\n", *list)
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
+		}
+		os.Exit(2)
+	}
+}

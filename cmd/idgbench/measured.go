@@ -1,0 +1,90 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sky"
+
+	"repro"
+)
+
+// runMeasured executes the real Go IDG pipeline on a scaled-down copy
+// of the paper dataset and reports wall-clock per-stage times and
+// throughput — the measured companion to the modelled Fig. 9/10 rows
+// (this machine is the fourth "platform" next to HASWELL, FIJI and
+// PASCAL).
+func runMeasured(scale float64) {
+	cfg := repro.DefaultObservation()
+	if scale != 1.0 {
+		cfg.NrTimesteps = int(float64(cfg.NrTimesteps) * scale)
+		if cfg.NrTimesteps < 16 {
+			cfg.NrTimesteps = 16
+		}
+	}
+	fmt.Printf("dataset: %d stations, %d steps, %d channels, %d-pixel subgrids on a %d-pixel grid (%d workers)\n",
+		cfg.NrStations, cfg.NrTimesteps, cfg.NrChannels, cfg.SubgridSize, cfg.GridSize,
+		runtime.GOMAXPROCS(0))
+
+	obs, err := cfg.Build()
+	if err != nil {
+		fatal(err)
+	}
+	pix := obs.ImageSize / float64(cfg.GridSize)
+	model := repro.SkyModel{
+		{L: 40 * pix, M: -24 * pix, I: 1},
+		{L: -80 * pix, M: 60 * pix, I: 0.5},
+	}
+	start := time.Now()
+	obs.FillFromModel(model)
+	fillTime := time.Since(start)
+
+	g, gridTimes, err := obs.GridAll(nil)
+	if err != nil {
+		fatal(err)
+	}
+	degridTimes, err := obs.DegridAll(nil, g)
+	if err != nil {
+		fatal(err)
+	}
+
+	st := obs.Plan.Stats()
+	nvis := float64(st.NrGriddedVisibilities)
+	t := report.NewTable("stage", "seconds", "share")
+	cycle := gridTimes
+	cycle.Add(degridTimes)
+	add := func(name string, d time.Duration) {
+		t.AddRow(name, d.Seconds(), fmt.Sprintf("%.1f%%", 100*d.Seconds()/cycle.Total().Seconds()))
+	}
+	add("gridder", gridTimes.Gridder)
+	add("degridder", degridTimes.Degridder)
+	add("subgrid FFT", gridTimes.SubgridFFT+degridTimes.SubgridFFT)
+	add("adder", gridTimes.Adder)
+	add("splitter", degridTimes.Splitter)
+	t.Render(os.Stdout)
+
+	fmt.Printf("\nvisibilities gridded: %.0f (workload generation took %.2fs)\n", nvis, fillTime.Seconds())
+	fmt.Printf("gridding   : %6.1f MVis/s\n", nvis/gridTimes.Total().Seconds()/1e6)
+	fmt.Printf("degridding : %6.1f MVis/s\n", nvis/degridTimes.Total().Seconds()/1e6)
+	frac := (gridTimes.Gridder + degridTimes.Degridder).Seconds() / cycle.Total().Seconds()
+	fmt.Printf("gridder+degridder share: %.1f%% (paper: >93%%)\n", 100*frac)
+
+	// Sanity: the dirty image must recover the brighter source.
+	img := core.GridToImage(g, 0)
+	core.ScaleImage(img, float64(cfg.GridSize*cfg.GridSize)/nvis)
+	core.ApplyTaperCorrection(img, obs.Kernels.TaperCorrection(cfg.GridSize))
+	si := sky.StokesI(img)
+	best, bi := -1.0, 0
+	for i, v := range si {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	x, y := sky.LMToPixel(model[0].L, model[0].M, cfg.GridSize, obs.ImageSize)
+	fmt.Printf("image check: peak %.3f at (%d,%d), expected ~%.1f at (%d,%d)\n",
+		best, bi%cfg.GridSize, bi/cfg.GridSize, model[0].I, x, y)
+}

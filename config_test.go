@@ -1,0 +1,89 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCoreOnlyLayoutShrinksBaselines: the CoreOnly option must keep
+// every station inside the core radius, giving a much wider field of
+// view than the arms configuration.
+func TestCoreOnlyLayoutShrinksBaselines(t *testing.T) {
+	base := smallObservation()
+	withArms, err := base.BuildPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := base
+	core.CoreOnly = true
+	coreOnly, err := core.BuildPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range coreOnly.Stations {
+		if r := math.Hypot(s.E, s.N); r > 501 {
+			t.Fatalf("core-only station at %.0f m", r)
+		}
+	}
+	if coreOnly.ImageSize < 5*withArms.ImageSize {
+		t.Fatalf("core-only field %.4f should be much wider than %.4f",
+			coreOnly.ImageSize, withArms.ImageSize)
+	}
+}
+
+// TestHourAngleIncreasesW: observing far from transit raises the w
+// coordinates substantially.
+func TestHourAngleIncreasesW(t *testing.T) {
+	base := smallObservation()
+	transit, err := base.BuildPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := base
+	low.HourAngleStartDeg = -80
+	lowElev, err := low.BuildPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wTransit := transit.Simulator.MaxW(base.NrTimesteps)
+	wLow := lowElev.Simulator.MaxW(base.NrTimesteps)
+	if wLow < 1.5*wTransit {
+		t.Fatalf("low elevation w %.0f m not larger than transit %.0f m", wLow, wTransit)
+	}
+}
+
+// TestBuildTwiceIsDeterministic: two builds of the same configuration
+// produce identical plans.
+func TestBuildTwiceIsDeterministic(t *testing.T) {
+	cfg := smallObservation()
+	a, err := cfg.BuildPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.BuildPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Plan.Items) != len(b.Plan.Items) {
+		t.Fatal("plans differ in size")
+	}
+	for i := range a.Plan.Items {
+		if a.Plan.Items[i] != b.Plan.Items[i] {
+			t.Fatalf("plan item %d differs", i)
+		}
+	}
+}
+
+// TestAllocateVisibilitiesIdempotent: repeated allocation must not
+// lose data.
+func TestAllocateVisibilitiesIdempotent(t *testing.T) {
+	obs, err := smallObservation().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Vis.Data[0][0][0] = 42
+	obs.AllocateVisibilities()
+	if obs.Vis.Data[0][0][0] != 42 {
+		t.Fatal("re-allocation clobbered data")
+	}
+}

@@ -1,0 +1,94 @@
+// Sensitivity: a noisy observation imaged with different weighting
+// schemes. Natural weighting maximizes point-source sensitivity
+// (lowest image noise); uniform weighting trades sensitivity for a
+// cleaner PSF. The example injects radiometer noise, images the field
+// three ways and reports peak flux, image noise and the resulting
+// signal-to-noise ratio — the quantity the paper's throughput numbers
+// (Fig. 10) ultimately buy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sky"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.DefaultObservation()
+	cfg.NrStations = 20
+	cfg.NrTimesteps = 128
+	cfg.NrChannels = 4
+	cfg.GridSize = 512
+	cfg.GridMargin = 32
+
+	const (
+		flux  = 1.0
+		sigma = 2.0 // per-visibility noise; SNR comes from averaging
+	)
+
+	type row struct {
+		name   string
+		scheme repro.WeightScheme
+		robust float64
+	}
+	rows := []row{
+		{"natural", repro.NaturalWeighting, 0},
+		{"robust 0", repro.RobustWeighting, 0},
+		{"uniform", repro.UniformWeighting, 0},
+	}
+
+	fmt.Printf("source: %.1f Jy; visibility noise sigma: %.1f Jy per component\n\n", flux, sigma)
+	fmt.Printf("%-10s %10s %12s %8s\n", "weighting", "peak (Jy)", "noise (Jy)", "SNR")
+
+	image := func(r row, withSource bool) (peak float64, si []float64, x, y int) {
+		obs, err := cfg.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		pix := obs.ImageSize / float64(cfg.GridSize)
+		truth := repro.SkyModel{{L: 40 * pix, M: -24 * pix, I: flux}}
+		if withSource {
+			obs.FillFromModel(truth)
+		}
+		if err := obs.AddNoise(sigma, 2026); err != nil {
+			log.Fatal(err)
+		}
+		w, err := obs.ComputeWeights(r.scheme, r.robust)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := obs.ApplyWeights(w)
+		g, _, err := obs.GridAll(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := cfg.GridSize
+		img := core.GridToImage(g, 0)
+		core.ScaleImage(img, float64(n*n)/total)
+		core.ApplyTaperCorrection(img, obs.Kernels.TaperCorrection(n))
+		si = sky.StokesI(img)
+		x, y = repro.LMToPixel(truth[0].L, truth[0].M, n, obs.ImageSize)
+		return si[y*n+x], si, x, y
+	}
+
+	for _, r := range rows {
+		peak, _, x, y := image(r, true)
+		// Measure the noise on a source-free realization so PSF
+		// sidelobes do not contaminate the estimate.
+		_, noiseImg, _, _ := image(r, false)
+		n := cfg.GridSize
+		inner := make([]float64, 0, (n/2)*(n/2))
+		for yy := n / 4; yy < 3*n/4; yy++ {
+			inner = append(inner, noiseImg[yy*n+n/4:yy*n+3*n/4]...)
+		}
+		rms := repro.ImageRMS(inner, n/2, x-n/4, y-n/4, 0)
+		fmt.Printf("%-10s %10.4f %12.5f %8.1f\n", r.name, peak, rms, peak/rms)
+	}
+
+	fmt.Println("\nnatural weighting gives the best point-source SNR; uniform pays")
+	fmt.Println("noise for resolution — the standard imaging trade-off.")
+}

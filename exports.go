@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"repro/internal/aterm"
+	"repro/internal/clean"
+	"repro/internal/core"
+	"repro/internal/sky"
+	"repro/internal/xmath"
+)
+
+// A-term providers (direction-dependent effects).
+
+// IdentityATerms returns the trivial provider used by the paper's
+// benchmark ("all set to identity").
+func IdentityATerms() ATermProvider { return aterm.Identity{} }
+
+// GaussianBeamATerms returns a station power-beam provider with the
+// given beam sigma (direction cosines) and per-slot pointing wobble.
+func GaussianBeamATerms(sigma, wobble float64) ATermProvider {
+	return aterm.GaussianBeam{Sigma: sigma, Wobble: wobble}
+}
+
+// PhaseScreenATerms returns an ionosphere-like per-station phase
+// gradient provider; strength is in radians per direction cosine.
+func PhaseScreenATerms(strength float64) ATermProvider {
+	return aterm.PhaseScreen{Strength: strength}
+}
+
+// ATermScheduler maps time steps to A-term slots.
+type ATermScheduler = aterm.Scheduler
+
+// CLEAN deconvolution.
+
+type (
+	// CleanParams configures Högbom CLEAN.
+	CleanParams = clean.Params
+	// CleanResult holds components, model and residual images.
+	CleanResult = clean.Result
+	// CleanComponent is one extracted delta component.
+	CleanComponent = clean.Component
+)
+
+// Hogbom runs Högbom CLEAN on an n x n dirty image with the given PSF.
+func Hogbom(dirty, psf []float64, n int, p CleanParams) (*CleanResult, error) {
+	return clean.Hogbom(dirty, psf, n, p)
+}
+
+// RestoreImage convolves CLEAN components with a Gaussian beam and
+// adds the residual.
+func RestoreImage(res *CleanResult, n int, beamSigma float64) []float64 {
+	return clean.Restore(res, n, beamSigma)
+}
+
+// Imaging helpers.
+
+// ScaleImage multiplies all image planes by s.
+func ScaleImage(img *Grid, s float64) { core.ScaleImage(img, s) }
+
+// ApplyWScreen multiplies an image by exp(sign * 2*pi*i * w * n(l,m)),
+// the W-stacking layer correction.
+func ApplyWScreen(img *Grid, imageSize, w, sign float64) {
+	core.ApplyWScreen(img, imageSize, w, sign)
+}
+
+// NewVisibilitySet allocates zeroed visibilities over the baselines
+// and uvw tracks.
+func NewVisibilitySet(baselines []Baseline, uvw [][]UVW, nrChannels int) *VisibilitySet {
+	return core.NewVisibilitySet(baselines, uvw, nrChannels)
+}
+
+// PixelToLM converts image pixel indices to direction cosines.
+func PixelToLM(x, y, n int, imageSize float64) (l, m float64) {
+	return sky.PixelToLM(x, y, n, imageSize)
+}
+
+// LMToPixel converts direction cosines to the nearest image pixel.
+func LMToPixel(l, m float64, n int, imageSize float64) (x, y int) {
+	return sky.LMToPixel(l, m, n, imageSize)
+}
+
+// Identity2 returns the 2x2 identity Jones matrix.
+func Identity2() Matrix2 { return xmath.Identity2() }
+
+// W-stacking entry points (forward to the core package).
+
+// GridWStacked grids every W-layer onto its own grid.
+func (o *Observation) GridWStacked(prov ATermProvider) (map[int]*Grid, StageTimes, error) {
+	if o.Vis == nil {
+		o.AllocateVisibilities()
+	}
+	return o.Kernels.GridVisibilitiesWStacked(o.Plan, o.Vis, prov)
+}
+
+// CombineWStackedImage applies per-layer w screens and sums the layer
+// images.
+func (o *Observation) CombineWStackedImage(grids map[int]*Grid) *Grid {
+	return o.Kernels.CombineWStackedImage(grids, o.Plan.WStepLambda)
+}
+
+// DegridWStacked predicts visibilities from a sky image through the
+// W-stacking pipeline.
+func (o *Observation) DegridWStacked(prov ATermProvider, img *Grid) (StageTimes, error) {
+	if o.Vis == nil {
+		o.AllocateVisibilities()
+	}
+	return o.Kernels.DegridVisibilitiesWStacked(o.Plan, o.Vis, prov, img)
+}
+
+// PSF grids unit visibilities and returns the normalized Stokes I
+// point spread function (restoring the observation's visibilities
+// afterwards).
+func (o *Observation) PSF() ([]float64, error) {
+	o.AllocateVisibilities()
+	backup := make([][]Matrix2, len(o.Vis.Data))
+	for b := range o.Vis.Data {
+		backup[b] = append([]Matrix2(nil), o.Vis.Data[b]...)
+	}
+	defer func() {
+		for b := range o.Vis.Data {
+			copy(o.Vis.Data[b], backup[b])
+		}
+	}()
+	o.FillFromModel(SkyModel{{L: 0, M: 0, I: 1}})
+	img, err := o.DirtyImage(nil)
+	if err != nil {
+		return nil, err
+	}
+	return sky.StokesI(img), nil
+}

@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/dataio"
+	"repro/internal/noise"
+	"repro/internal/weight"
+)
+
+// Imaging weighting (internal/weight).
+
+// WeightScheme selects the imaging density weighting.
+type WeightScheme = weight.Scheme
+
+// Weighting scheme constants.
+const (
+	NaturalWeighting = weight.Natural
+	UniformWeighting = weight.Uniform
+	RobustWeighting  = weight.Robust
+)
+
+// ImagingWeights is a computed weighting function.
+type ImagingWeights = weight.Weights
+
+// ComputeWeights builds the weighting function for this observation.
+func (o *Observation) ComputeWeights(scheme WeightScheme, robust float64) (*ImagingWeights, error) {
+	o.AllocateVisibilities()
+	return weight.Compute(weight.Config{
+		Scheme: scheme, Robust: robust,
+		GridSize: o.Config.GridSize, ImageSize: o.ImageSize,
+	}, o.Vis.UVW, o.Config.Frequencies())
+}
+
+// ApplyWeights multiplies the observation's visibilities in place and
+// returns the total applied weight (the normalization a weighted
+// dirty image must divide by).
+func (o *Observation) ApplyWeights(w *ImagingWeights) float64 {
+	return weight.Apply(o.Vis, w, o.Config.Frequencies())
+}
+
+// Noise injection (internal/noise).
+
+// AddNoise adds zero-mean complex Gaussian noise with the given
+// per-component standard deviation to all visibilities.
+func (o *Observation) AddNoise(sigma float64, seed int64) error {
+	o.AllocateVisibilities()
+	return noise.AddGaussian(o.Vis, sigma, seed)
+}
+
+// ImageRMS estimates the noise rms of a Stokes I image, excluding a
+// box of half-width exclude around pixel (cx, cy).
+func ImageRMS(img []float64, n, cx, cy, exclude int) float64 {
+	return noise.ImageRMS(img, n, cx, cy, exclude)
+}
+
+// Observation serialization (internal/dataio).
+
+// WriteVisibilities stores the observation's visibilities in the
+// repository's checksummed binary format.
+func (o *Observation) WriteVisibilities(w io.Writer) error {
+	o.AllocateVisibilities()
+	return dataio.Write(w, o.Vis, o.Config.Frequencies())
+}
+
+// ReadVisibilities loads a stored observation (visibility set and
+// channel frequencies).
+func ReadVisibilities(r io.Reader) (*VisibilitySet, []float64, error) {
+	return dataio.Read(r)
+}

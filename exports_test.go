@@ -1,0 +1,137 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestATermProviderConstructors(t *testing.T) {
+	id := IdentityATerms()
+	if d := id.Evaluate(0, 0, 0.01, 0.01).MaxAbsDiff(Identity2()); d != 0 {
+		t.Fatal("identity provider wrong")
+	}
+	beam := GaussianBeamATerms(0.05, 0)
+	center := beam.Evaluate(0, 0, 0, 0)
+	edge := beam.Evaluate(0, 0, 0.05, 0)
+	if real(edge[0]) >= real(center[0]) {
+		t.Fatal("beam must fall off")
+	}
+	screen := PhaseScreenATerms(10)
+	m := screen.Evaluate(1, 1, 0.01, 0.02)
+	if math.Abs(real(m[0])*real(m[0])+imag(m[0])*imag(m[0])-1) > 1e-12 {
+		t.Fatal("phase screen must be unimodular")
+	}
+}
+
+func TestATermSchedulerAlias(t *testing.T) {
+	s := ATermScheduler{UpdateInterval: 128}
+	if s.Slot(129) != 1 {
+		t.Fatal("scheduler alias broken")
+	}
+}
+
+func TestCleanThroughFacade(t *testing.T) {
+	n := 32
+	psf := make([]float64, n*n)
+	psf[(n/2)*n+n/2] = 1
+	dirty := make([]float64, n*n)
+	dirty[10*n+12] = 2
+	res, err := Hogbom(dirty, psf, n, CleanParams{Gain: 0.5, MaxIterations: 100, Threshold: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Model[10*n+12]-2) > 1e-6 {
+		t.Fatalf("CLEAN through facade recovered %g", res.Model[10*n+12])
+	}
+	restored := RestoreImage(res, n, 1.5)
+	if restored[10*n+12] < 1.9 {
+		t.Fatal("restore through facade lost flux")
+	}
+}
+
+func TestPixelLMHelpers(t *testing.T) {
+	l, m := PixelToLM(140, 100, 256, 0.1)
+	x, y := LMToPixel(l, m, 256, 0.1)
+	if x != 140 || y != 100 {
+		t.Fatalf("pixel roundtrip (%d,%d)", x, y)
+	}
+}
+
+func TestScaleImageAndWScreen(t *testing.T) {
+	img := NewGrid(16)
+	img.Set(0, 8, 8, 2)
+	ScaleImage(img, 0.5)
+	if img.At(0, 8, 8) != 1 {
+		t.Fatal("ScaleImage wrong")
+	}
+	orig := img.Clone()
+	ApplyWScreen(img, 0.2, 50, +1)
+	ApplyWScreen(img, 0.2, 50, -1)
+	if d := img.MaxAbsDiff(orig); d > 1e-9 {
+		t.Fatalf("w screen roundtrip %g", d)
+	}
+}
+
+func TestObservationPSF(t *testing.T) {
+	cfg := smallObservation()
+	obs, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Put data in; PSF must not clobber it.
+	pix := obs.ImageSize / float64(cfg.GridSize)
+	obs.FillFromModel(SkyModel{{L: 10 * pix, M: 0, I: 1}})
+	before := obs.Vis.Data[0][0]
+	psf, err := obs.PSF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Vis.Data[0][0] != before {
+		t.Fatal("PSF computation clobbered the visibilities")
+	}
+	center := (cfg.GridSize/2)*cfg.GridSize + cfg.GridSize/2
+	if math.Abs(psf[center]-1) > 0.02 {
+		t.Fatalf("PSF peak %.3f, want 1", psf[center])
+	}
+	// PSF is symmetric about the center for conjugate-covered uv.
+	off := psf[center+5]
+	mirror := psf[center-5]
+	if math.Abs(off-mirror) > 0.05 {
+		t.Fatalf("PSF asymmetric: %g vs %g", off, mirror)
+	}
+}
+
+func TestWStackedFacadeRoundtrip(t *testing.T) {
+	cfg := smallObservation()
+	cfg.SubgridSize = 16
+	cfg.KernelSupport = 4
+	cfg.CoreOnly = true
+	cfg.HourAngleStartDeg = -60
+	cfg.WStepLambda = 100
+	obs, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pix := obs.ImageSize / float64(cfg.GridSize)
+	model := SkyModel{{L: 15 * pix, M: 10 * pix, I: 1}}
+	obs.FillFromModel(model)
+	grids, times, err := obs.GridWStacked(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times.Gridder <= 0 {
+		t.Fatal("no gridder time recorded")
+	}
+	img := obs.CombineWStackedImage(grids)
+	if img.Norm2() == 0 {
+		t.Fatal("empty combined image")
+	}
+	// Degrid through the facade too.
+	modelImg := model.Rasterize(cfg.GridSize, obs.ImageSize)
+	if _, err := obs.DegridWStacked(nil, modelImg); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Vis.Data[0][0] == (Matrix2{}) {
+		t.Fatal("degrid produced no data")
+	}
+}

@@ -1,0 +1,162 @@
+// Package aterm models the direction-dependent effects (DDEs) the
+// paper calls A-terms: per-station 2x2 Jones matrices that vary over
+// the field of view and change slowly with time (the benchmark dataset
+// updates them every 256 time steps). IDG applies them as plain
+// per-pixel multiplications in the image domain, which is the central
+// advantage over AW-projection.
+package aterm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xmath"
+)
+
+// Provider evaluates the Jones response of a station towards direction
+// (l, m) during A-term slot. Implementations must be deterministic and
+// safe for concurrent use.
+type Provider interface {
+	// Evaluate returns the Jones matrix of the given station for
+	// A-term time slot and direction cosines (l, m).
+	Evaluate(station, slot int, l, m float64) xmath.Matrix2
+}
+
+// Scheduler maps time steps to A-term slots: the paper updates the
+// A-terms every UpdateInterval time steps.
+type Scheduler struct {
+	// UpdateInterval is the number of time steps per A-term slot
+	// (256 in the paper's dataset).
+	UpdateInterval int
+}
+
+// Slot returns the A-term slot index of time step t.
+func (s Scheduler) Slot(t int) int {
+	if s.UpdateInterval <= 0 {
+		return 0
+	}
+	return t / s.UpdateInterval
+}
+
+// NrSlots returns the number of slots needed for nrTimesteps.
+func (s Scheduler) NrSlots(nrTimesteps int) int {
+	if s.UpdateInterval <= 0 {
+		return 1
+	}
+	return (nrTimesteps + s.UpdateInterval - 1) / s.UpdateInterval
+}
+
+// Identity is the trivial provider: all stations respond with the unit
+// matrix ("for simplicity, all set to identity", Section VI-A). The
+// computational cost of IDG is unchanged, which is the point the paper
+// makes about DDE corrections being nearly free.
+type Identity struct{}
+
+// Evaluate implements Provider.
+func (Identity) Evaluate(int, int, float64, float64) xmath.Matrix2 {
+	return xmath.Identity2()
+}
+
+// GaussianBeam models a station power beam: a real amplitude taper
+// exp(-(l^2+m^2)/(2 sigma^2)) on both feeds, with a per-station,
+// per-slot pointing wobble. Sigma is expressed in direction cosines.
+type GaussianBeam struct {
+	Sigma float64
+	// Wobble is the pointing jitter amplitude in direction cosines;
+	// station s in slot k points at a deterministic offset within
+	// [-Wobble, Wobble]^2.
+	Wobble float64
+}
+
+// Evaluate implements Provider.
+func (g GaussianBeam) Evaluate(station, slot int, l, m float64) xmath.Matrix2 {
+	if g.Sigma <= 0 {
+		panic(fmt.Sprintf("aterm: GaussianBeam sigma must be positive, got %g", g.Sigma))
+	}
+	dl, dm := hash2(station, slot)
+	l -= g.Wobble * dl
+	m -= g.Wobble * dm
+	a := math.Exp(-(l*l + m*m) / (2 * g.Sigma * g.Sigma))
+	c := complex(a, 0)
+	return xmath.Matrix2{c, 0, 0, c}
+}
+
+// PhaseScreen models ionospheric-like propagation: a per-station phase
+// gradient over the field of view, exp(i*(a*l + b*m)), with gradients
+// that drift from slot to slot. The gradient strength is expressed in
+// radians per direction cosine.
+type PhaseScreen struct {
+	// Strength scales the phase gradients (radians per unit l).
+	Strength float64
+}
+
+// Evaluate implements Provider.
+func (p PhaseScreen) Evaluate(station, slot int, l, m float64) xmath.Matrix2 {
+	a, b := hash2(station, slot)
+	phase := p.Strength * (a*l + b*m)
+	sin, cos := math.Sincos(phase)
+	c := complex(cos, sin)
+	return xmath.Matrix2{c, 0, 0, c}
+}
+
+// hash2 produces two deterministic values in [-1, 1] from a station
+// and slot index (a cheap counter-mode hash; no package state).
+func hash2(station, slot int) (float64, float64) {
+	x := uint64(station)*0x9e3779b97f4a7c15 ^ uint64(slot)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	a := float64(x&0xffffffff)/float64(1<<31) - 1
+	b := float64(x>>32)/float64(1<<31) - 1
+	return a, b
+}
+
+// Map samples a provider over an n x n subgrid covering imageSize
+// direction cosines; the result is indexed [y*n+x] and is what the
+// apply_aterm step of Algorithms 1 and 2 consumes.
+func Map(p Provider, station, slot, n int, imageSize float64) []xmath.Matrix2 {
+	out := make([]xmath.Matrix2, n*n)
+	scale := imageSize / float64(n)
+	for y := 0; y < n; y++ {
+		m := float64(y-n/2) * scale
+		for x := 0; x < n; x++ {
+			l := float64(x-n/2) * scale
+			out[y*n+x] = p.Evaluate(station, slot, l, m)
+		}
+	}
+	return out
+}
+
+// Cache memoizes Map results per (station, slot); the gridder reuses
+// the same maps for every subgrid of a work group that shares the slot.
+// Cache is not safe for concurrent writes; each worker builds its own
+// or the caller prefills it before fanning out.
+type Cache struct {
+	provider  Provider
+	n         int
+	imageSize float64
+	maps      map[[2]int][]xmath.Matrix2
+}
+
+// NewCache builds a cache for subgrids of size n covering imageSize.
+func NewCache(p Provider, n int, imageSize float64) *Cache {
+	return &Cache{
+		provider:  p,
+		n:         n,
+		imageSize: imageSize,
+		maps:      make(map[[2]int][]xmath.Matrix2),
+	}
+}
+
+// Get returns the memoized A-term map for (station, slot).
+func (c *Cache) Get(station, slot int) []xmath.Matrix2 {
+	key := [2]int{station, slot}
+	if m, ok := c.maps[key]; ok {
+		return m
+	}
+	m := Map(c.provider, station, slot, c.n, c.imageSize)
+	c.maps[key] = m
+	return m
+}

@@ -1,0 +1,139 @@
+package aterm
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/xmath"
+)
+
+func TestSchedulerSlots(t *testing.T) {
+	s := Scheduler{UpdateInterval: 256}
+	if s.Slot(0) != 0 || s.Slot(255) != 0 || s.Slot(256) != 1 || s.Slot(8191) != 31 {
+		t.Fatal("slot mapping wrong")
+	}
+	if s.NrSlots(8192) != 32 {
+		t.Fatalf("NrSlots(8192) = %d, want 32 (paper dataset)", s.NrSlots(8192))
+	}
+	if s.NrSlots(8193) != 33 {
+		t.Fatalf("NrSlots(8193) = %d", s.NrSlots(8193))
+	}
+	// Degenerate interval: everything is one slot.
+	z := Scheduler{}
+	if z.Slot(100) != 0 || z.NrSlots(100) != 1 {
+		t.Fatal("zero interval should collapse to one slot")
+	}
+}
+
+func TestIdentityProvider(t *testing.T) {
+	var p Identity
+	m := p.Evaluate(3, 7, 0.01, -0.02)
+	if m.MaxAbsDiff(xmath.Identity2()) != 0 {
+		t.Fatal("identity provider not identity")
+	}
+}
+
+func TestGaussianBeamPeakAndFalloff(t *testing.T) {
+	p := GaussianBeam{Sigma: 0.05}
+	center := p.Evaluate(0, 0, 0, 0)
+	if d := center.MaxAbsDiff(xmath.Identity2()); d > 1e-12 {
+		t.Fatalf("beam center gain = %v", center)
+	}
+	edge := p.Evaluate(0, 0, 0.05, 0)
+	want := math.Exp(-0.5)
+	if d := math.Abs(real(edge[0]) - want); d > 1e-12 {
+		t.Fatalf("beam at sigma = %g, want %g", real(edge[0]), want)
+	}
+	// Off-diagonal terms are zero, diag equal (scalar beam).
+	if edge[1] != 0 || edge[2] != 0 || edge[0] != edge[3] {
+		t.Fatal("beam must be scalar")
+	}
+}
+
+func TestGaussianBeamWobbleDeterministic(t *testing.T) {
+	p := GaussianBeam{Sigma: 0.05, Wobble: 0.01}
+	a := p.Evaluate(5, 3, 0.01, 0.01)
+	b := p.Evaluate(5, 3, 0.01, 0.01)
+	if a != b {
+		t.Fatal("wobble not deterministic")
+	}
+	c := p.Evaluate(5, 4, 0.01, 0.01)
+	if a == c {
+		t.Fatal("expected different slots to wobble differently")
+	}
+}
+
+func TestGaussianBeamInvalidSigmaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GaussianBeam{}.Evaluate(0, 0, 0, 0)
+}
+
+func TestPhaseScreenUnitary(t *testing.T) {
+	p := PhaseScreen{Strength: 100}
+	for st := 0; st < 5; st++ {
+		m := p.Evaluate(st, 2, 0.03, -0.01)
+		// Scalar unimodular phase.
+		if d := math.Abs(cmplx.Abs(m[0]) - 1); d > 1e-12 {
+			t.Fatalf("|phase| = %g", cmplx.Abs(m[0]))
+		}
+		if m[1] != 0 || m[2] != 0 || m[0] != m[3] {
+			t.Fatal("phase screen must be scalar")
+		}
+	}
+}
+
+func TestPhaseScreenZeroAtCenter(t *testing.T) {
+	p := PhaseScreen{Strength: 50}
+	m := p.Evaluate(9, 9, 0, 0)
+	if d := m.MaxAbsDiff(xmath.Identity2()); d > 1e-12 {
+		t.Fatal("phase at field center must be zero")
+	}
+}
+
+func TestMapLayoutMatchesEvaluate(t *testing.T) {
+	p := GaussianBeam{Sigma: 0.04}
+	n := 8
+	imageSize := 0.1
+	m := Map(p, 1, 2, n, imageSize)
+	if len(m) != n*n {
+		t.Fatalf("map length %d", len(m))
+	}
+	scale := imageSize / float64(n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			want := p.Evaluate(1, 2, float64(x-n/2)*scale, float64(y-n/2)*scale)
+			if m[y*n+x] != want {
+				t.Fatalf("map(%d,%d) mismatch", x, y)
+			}
+		}
+	}
+}
+
+func TestCacheMemoizes(t *testing.T) {
+	c := NewCache(PhaseScreen{Strength: 10}, 16, 0.1)
+	a := c.Get(2, 3)
+	b := c.Get(2, 3)
+	if &a[0] != &b[0] {
+		t.Fatal("cache did not memoize")
+	}
+	d := c.Get(2, 4)
+	if &a[0] == &d[0] {
+		t.Fatal("different slots must not share a map")
+	}
+}
+
+func TestHash2Range(t *testing.T) {
+	for st := 0; st < 200; st++ {
+		for slot := 0; slot < 8; slot++ {
+			a, b := hash2(st, slot)
+			if a < -1 || a > 1 || b < -1 || b > 1 {
+				t.Fatalf("hash2(%d,%d) out of range: %g, %g", st, slot, a, b)
+			}
+		}
+	}
+}

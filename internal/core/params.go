@@ -1,0 +1,156 @@
+// Package core implements Image-Domain Gridding, the primary
+// contribution of the paper: the gridder kernel (Algorithm 1), the
+// degridder kernel (Algorithm 2), the subgrid FFTs, and the adder and
+// splitter, together with the parallel pipelines that combine them
+// into full gridding and degridding passes.
+//
+// # Phase conventions
+//
+// Visibilities follow the measurement equation (Eq. 1):
+//
+//	V(u,v,w) = sum_lm B(l,m) exp(-2*pi*i*(u*l + v*m + w*n)),
+//
+// with uvw in wavelengths and n = 1 - sqrt(1 - l^2 - m^2). A subgrid
+// anchored at grid pixel (X0, Y0) covers uv offsets
+// uOff = (X0 + N~/2 - N/2)/ImageSize (likewise vOff), and the gridder
+// accumulates every pixel with the phasor
+//
+//	Phi = exp(+2*pi*i*((u-uOff)*l + (v-vOff)*m + (w-wOff)*n))
+//
+// so that after the A-term/taper correction and the centered forward
+// FFT the subgrid tile drops into the grid at (X0, Y0) with no further
+// phase fixups. The degridder uses the conjugate phasor.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/fft"
+	"repro/internal/sky"
+	"repro/internal/taper"
+	"repro/internal/uvwsim"
+	"repro/internal/xmath"
+)
+
+// Params configures the IDG kernels.
+type Params struct {
+	// GridSize is the grid dimension in pixels.
+	GridSize int
+	// SubgridSize is the subgrid dimension N~ in pixels.
+	SubgridSize int
+	// ImageSize is the field-of-view extent in direction cosines.
+	ImageSize float64
+	// Frequencies are the channel center frequencies in Hz.
+	Frequencies []float64
+	// Sincos selects the sine/cosine evaluator; nil selects
+	// xmath.SincosFast (the SVML-medium-accuracy equivalent).
+	Sincos xmath.SincosFunc
+	// Taper is the image-domain window applied to every subgrid; nil
+	// selects the prolate spheroidal used by the paper.
+	Taper func(nu float64) float64
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// DisableBatching selects the straightforward reference kernels
+	// instead of the batch-blocked ones (used by the ablation
+	// benchmarks; the results are identical to rounding).
+	DisableBatching bool
+}
+
+// Validate checks the parameters.
+func (p *Params) Validate() error {
+	switch {
+	case p.GridSize < 2:
+		return fmt.Errorf("core: grid size %d too small", p.GridSize)
+	case p.SubgridSize < 2 || p.SubgridSize%2 != 0:
+		return fmt.Errorf("core: subgrid size %d must be even and >= 2", p.SubgridSize)
+	case p.SubgridSize > p.GridSize:
+		return fmt.Errorf("core: subgrid %d exceeds grid %d", p.SubgridSize, p.GridSize)
+	case p.ImageSize <= 0:
+		return fmt.Errorf("core: image size %g must be positive", p.ImageSize)
+	case len(p.Frequencies) == 0:
+		return fmt.Errorf("core: no frequencies")
+	}
+	for i, f := range p.Frequencies {
+		if f <= 0 {
+			return fmt.Errorf("core: frequency %d not positive: %g", i, f)
+		}
+	}
+	return nil
+}
+
+func (p *Params) workers() int {
+	if p.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Workers
+}
+
+// Kernels holds the precomputed state shared by all kernel
+// invocations: per-pixel direction cosines, the taper map, wavenumber
+// scales, and the subgrid FFT plan. Kernels is safe for concurrent
+// use once built.
+type Kernels struct {
+	params Params
+
+	// Per-pixel tables for the subgrid, indexed y*N~+x.
+	l, m, n []float64
+	taper   []float64
+
+	// scale[c] = 2*pi * Frequencies[c] / c0 converts a phase index in
+	// meters to radians for channel c.
+	scale []float64
+
+	sincos xmath.SincosFunc
+	sgFFT  *fft.Plan2D
+}
+
+// NewKernels precomputes the kernel state for the given parameters.
+func NewKernels(params Params) (*Kernels, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	k := &Kernels{params: params}
+	sg := params.SubgridSize
+	k.l = make([]float64, sg*sg)
+	k.m = make([]float64, sg*sg)
+	k.n = make([]float64, sg*sg)
+	pixel := params.ImageSize / float64(sg)
+	for y := 0; y < sg; y++ {
+		mv := float64(y-sg/2) * pixel
+		for x := 0; x < sg; x++ {
+			lv := float64(x-sg/2) * pixel
+			i := y*sg + x
+			k.l[i] = lv
+			k.m[i] = mv
+			k.n[i] = sky.N(lv, mv)
+		}
+	}
+	tf := params.Taper
+	if tf == nil {
+		tf = taper.Spheroidal
+	}
+	k.taper = taper.Window2D(sg, tf)
+	k.scale = make([]float64, len(params.Frequencies))
+	for c, f := range params.Frequencies {
+		k.scale[c] = 2 * 3.141592653589793 * f / uvwsim.SpeedOfLight
+	}
+	k.sincos = params.Sincos
+	if k.sincos == nil {
+		k.sincos = xmath.SincosFast
+	}
+	k.sgFFT = fft.NewPlan2D(sg, sg)
+	return k, nil
+}
+
+// Params returns a copy of the kernel parameters.
+func (k *Kernels) Params() Params { return k.params }
+
+// uvOffset returns the uv offset of a subgrid anchored at (x0, y0), in
+// wavelengths.
+func (k *Kernels) uvOffset(x0, y0 int) (uOff, vOff float64) {
+	n, sg := k.params.GridSize, k.params.SubgridSize
+	uOff = float64(x0+sg/2-n/2) / k.params.ImageSize
+	vOff = float64(y0+sg/2-n/2) / k.params.ImageSize
+	return uOff, vOff
+}

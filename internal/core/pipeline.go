@@ -1,0 +1,263 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/aterm"
+	"repro/internal/grid"
+	"repro/internal/plan"
+	"repro/internal/uvwsim"
+	"repro/internal/xmath"
+)
+
+// VisibilitySet holds the measurement data of one observation: the
+// uvw tracks and the 2x2 correlation visibilities of every baseline.
+type VisibilitySet struct {
+	// Baselines maps baseline indices to station pairs.
+	Baselines []uvwsim.Baseline
+	// UVW holds the uvw track of each baseline in meters: UVW[b][t].
+	UVW [][]uvwsim.UVW
+	// Data holds the visibilities: Data[b][t*NrChannels + c].
+	Data [][]xmath.Matrix2
+	// NrTimesteps and NrChannels give the time/channel dimensions.
+	NrTimesteps, NrChannels int
+}
+
+// NewVisibilitySet allocates a zeroed visibility set for the given
+// baselines and dimensions. The uvw tracks must be filled by the
+// caller (typically from uvwsim).
+func NewVisibilitySet(baselines []uvwsim.Baseline, uvw [][]uvwsim.UVW, nrChannels int) *VisibilitySet {
+	if len(baselines) != len(uvw) {
+		panic("core: baseline/uvw length mismatch")
+	}
+	if len(uvw) == 0 || len(uvw[0]) == 0 {
+		panic("core: empty visibility set")
+	}
+	nt := len(uvw[0])
+	vs := &VisibilitySet{
+		Baselines:   baselines,
+		UVW:         uvw,
+		Data:        make([][]xmath.Matrix2, len(baselines)),
+		NrTimesteps: nt,
+		NrChannels:  nrChannels,
+	}
+	for b := range vs.Data {
+		if len(uvw[b]) != nt {
+			panic("core: ragged uvw tracks")
+		}
+		vs.Data[b] = make([]xmath.Matrix2, nt*nrChannels)
+	}
+	return vs
+}
+
+// NrVisibilities returns the total number of visibilities.
+func (vs *VisibilitySet) NrVisibilities() int64 {
+	return int64(len(vs.Baselines)) * int64(vs.NrTimesteps) * int64(vs.NrChannels)
+}
+
+// gather copies the visibilities covered by a work item into dst
+// (layout [t*item.NrChannels + c]).
+func (vs *VisibilitySet) gather(item plan.WorkItem, dst []xmath.Matrix2) {
+	src := vs.Data[item.Baseline]
+	for t := 0; t < item.NrTimesteps; t++ {
+		row := (item.TimeStart + t) * vs.NrChannels
+		copy(dst[t*item.NrChannels:(t+1)*item.NrChannels],
+			src[row+item.Channel0:row+item.Channel0+item.NrChannels])
+	}
+}
+
+// scatter writes predicted visibilities of a work item back.
+func (vs *VisibilitySet) scatter(item plan.WorkItem, src []xmath.Matrix2) {
+	dst := vs.Data[item.Baseline]
+	for t := 0; t < item.NrTimesteps; t++ {
+		row := (item.TimeStart + t) * vs.NrChannels
+		copy(dst[row+item.Channel0:row+item.Channel0+item.NrChannels],
+			src[t*item.NrChannels:(t+1)*item.NrChannels])
+	}
+}
+
+// itemUVW returns the uvw slice covered by a work item.
+func (vs *VisibilitySet) itemUVW(item plan.WorkItem) []uvwsim.UVW {
+	return vs.UVW[item.Baseline][item.TimeStart : item.TimeStart+item.NrTimesteps]
+}
+
+// StageTimes records the wall-clock time spent per pipeline stage,
+// the Go-measured analogue of the paper's Fig. 9 runtime distribution.
+type StageTimes struct {
+	Gridder    time.Duration
+	Degridder  time.Duration
+	SubgridFFT time.Duration
+	Adder      time.Duration
+	Splitter   time.Duration
+}
+
+// Total returns the summed stage time.
+func (s StageTimes) Total() time.Duration {
+	return s.Gridder + s.Degridder + s.SubgridFFT + s.Adder + s.Splitter
+}
+
+// Add accumulates other into s.
+func (s *StageTimes) Add(other StageTimes) {
+	s.Gridder += other.Gridder
+	s.Degridder += other.Degridder
+	s.SubgridFFT += other.SubgridFFT
+	s.Adder += other.Adder
+	s.Splitter += other.Splitter
+}
+
+// DefaultWorkGroupSize is the number of work items processed per
+// pipeline round; it bounds the subgrid buffer memory the same way
+// the paper's work groups bound the GPU device buffers.
+const DefaultWorkGroupSize = 1024
+
+// atermMaps precomputes the per-pixel A-term maps needed by a group of
+// work items, returning a lookup by (station, slot). A nil provider
+// yields a nil map (identity fast path).
+func (k *Kernels) atermMaps(items []plan.WorkItem, baselines []uvwsim.Baseline, prov aterm.Provider) map[[2]int][]xmath.Matrix2 {
+	if prov == nil {
+		return nil
+	}
+	cache := aterm.NewCache(prov, k.params.SubgridSize, k.params.ImageSize)
+	maps := make(map[[2]int][]xmath.Matrix2)
+	for i := range items {
+		b := baselines[items[i].Baseline]
+		slot := items[i].ATermSlot
+		for _, st := range [2]int{b.P, b.Q} {
+			key := [2]int{st, slot}
+			if _, ok := maps[key]; !ok {
+				maps[key] = cache.Get(st, slot)
+			}
+		}
+	}
+	return maps
+}
+
+// GridVisibilities runs the full gridding pass of Fig. 4: gridder
+// kernel, subgrid FFTs, adder; group by group over the plan's work.
+// The grid is accumulated into (callers zero it first for a fresh
+// pass). It returns per-stage timings.
+func (k *Kernels) GridVisibilities(p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, g *grid.Grid) (StageTimes, error) {
+	var times StageTimes
+	if err := k.checkPlan(p, vs); err != nil {
+		return times, err
+	}
+	for _, group := range p.WorkGroups(DefaultWorkGroupSize) {
+		maps := k.atermMaps(group, vs.Baselines, prov)
+		subgrids := make([]*grid.Subgrid, len(group))
+
+		start := time.Now()
+		k.forEachItem(len(group), func(i int) {
+			item := group[i]
+			sgr := grid.NewSubgrid(k.params.SubgridSize, item.X0, item.Y0)
+			vis := make([]xmath.Matrix2, item.NrVisibilities())
+			vs.gather(item, vis)
+			ap, aq := k.lookupATerms(maps, vs.Baselines, item)
+			k.GridSubgrid(item, vs.itemUVW(item), vis, ap, aq, sgr)
+			subgrids[i] = sgr
+		})
+		times.Gridder += time.Since(start)
+
+		start = time.Now()
+		k.FFTSubgrids(subgrids)
+		times.SubgridFFT += time.Since(start)
+
+		start = time.Now()
+		k.Adder(subgrids, g)
+		times.Adder += time.Since(start)
+	}
+	return times, nil
+}
+
+// DegridVisibilities runs the full degridding pass of Fig. 4 in
+// reverse order: splitter, inverse subgrid FFTs, degridder kernel.
+// Predicted visibilities overwrite vs.Data.
+func (k *Kernels) DegridVisibilities(p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, g *grid.Grid) (StageTimes, error) {
+	var times StageTimes
+	if err := k.checkPlan(p, vs); err != nil {
+		return times, err
+	}
+	for _, group := range p.WorkGroups(DefaultWorkGroupSize) {
+		maps := k.atermMaps(group, vs.Baselines, prov)
+		subgrids := make([]*grid.Subgrid, len(group))
+		for i, item := range group {
+			sgr := grid.NewSubgrid(k.params.SubgridSize, item.X0, item.Y0)
+			sgr.WOffset = item.WOffset
+			subgrids[i] = sgr
+		}
+
+		start := time.Now()
+		k.Splitter(g, subgrids)
+		times.Splitter += time.Since(start)
+
+		start = time.Now()
+		k.InverseFFTSubgrids(subgrids)
+		times.SubgridFFT += time.Since(start)
+
+		start = time.Now()
+		k.forEachItem(len(group), func(i int) {
+			item := group[i]
+			vis := make([]xmath.Matrix2, item.NrVisibilities())
+			ap, aq := k.lookupATerms(maps, vs.Baselines, item)
+			k.DegridSubgrid(item, subgrids[i], vs.itemUVW(item), ap, aq, vis)
+			vs.scatter(item, vis)
+		})
+		times.Degridder += time.Since(start)
+	}
+	return times, nil
+}
+
+func (k *Kernels) lookupATerms(maps map[[2]int][]xmath.Matrix2, baselines []uvwsim.Baseline, item plan.WorkItem) (ap, aq []xmath.Matrix2) {
+	if maps == nil {
+		return nil, nil
+	}
+	b := baselines[item.Baseline]
+	return maps[[2]int{b.P, item.ATermSlot}], maps[[2]int{b.Q, item.ATermSlot}]
+}
+
+func (k *Kernels) checkPlan(p *plan.Plan, vs *VisibilitySet) error {
+	switch {
+	case p.GridSize != k.params.GridSize:
+		return fmt.Errorf("core: plan grid size %d != kernel grid size %d", p.GridSize, k.params.GridSize)
+	case p.SubgridSize != k.params.SubgridSize:
+		return fmt.Errorf("core: plan subgrid size %d != kernel subgrid size %d", p.SubgridSize, k.params.SubgridSize)
+	case p.ImageSize != k.params.ImageSize:
+		return fmt.Errorf("core: plan image size %g != kernel image size %g", p.ImageSize, k.params.ImageSize)
+	case len(p.Frequencies) != len(k.params.Frequencies):
+		return fmt.Errorf("core: plan has %d channels, kernels have %d", len(p.Frequencies), len(k.params.Frequencies))
+	case vs.NrChannels != len(k.params.Frequencies):
+		return fmt.Errorf("core: visibility set has %d channels, kernels have %d", vs.NrChannels, len(k.params.Frequencies))
+	}
+	return nil
+}
+
+// forEachItem runs fn(i) for i in [0, n) on the worker pool.
+func (k *Kernels) forEachItem(n int, fn func(i int)) {
+	workers := k.params.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/plan"
+	"repro/internal/uvwsim"
+	"repro/internal/xmath"
+)
+
+// propItem builds a deterministic random work item with data.
+func propItem(seed uint64, nt, nc int) (plan.WorkItem, []uvwsim.UVW, []xmath.Matrix2) {
+	rnd := newTestRand(seed)
+	item := plan.WorkItem{
+		NrTimesteps: nt, NrChannels: nc,
+		X0: 100 + int(20*rnd()), Y0: 110 + int(20*rnd()),
+	}
+	uvw := make([]uvwsim.UVW, nt)
+	for t := range uvw {
+		uvw[t] = uvwsim.UVW{U: 40 * rnd(), V: 40 * rnd(), W: 4 * rnd()}
+	}
+	vis := make([]xmath.Matrix2, nt*nc)
+	for i := range vis {
+		for p := 0; p < 4; p++ {
+			vis[i][p] = complex(rnd(), rnd())
+		}
+	}
+	return item, uvw, vis
+}
+
+// TestGridderLinearity: the gridder is a linear operator in the
+// visibilities: G(a*v1 + v2) == a*G(v1) + G(v2).
+func TestGridderLinearity(t *testing.T) {
+	k := testKernels(t, 256, 16)
+	f := func(seed uint64) bool {
+		item, uvw, v1 := propItem(seed, 4, 2)
+		_, _, v2 := propItem(seed^0xdead, 4, 2)
+		a := complex(1.7, -0.3)
+
+		mix := make([]xmath.Matrix2, len(v1))
+		for i := range mix {
+			mix[i] = v1[i].Scale(a).Add(v2[i])
+		}
+		sMix := grid.NewSubgrid(16, item.X0, item.Y0)
+		k.GridSubgrid(item, uvw, mix, nil, nil, sMix)
+
+		s1 := grid.NewSubgrid(16, item.X0, item.Y0)
+		k.GridSubgrid(item, uvw, v1, nil, nil, s1)
+		s2 := grid.NewSubgrid(16, item.X0, item.Y0)
+		k.GridSubgrid(item, uvw, v2, nil, nil, s2)
+		for c := range sMix.Data {
+			for i := range sMix.Data[c] {
+				want := a*s1.Data[c][i] + s2.Data[c][i]
+				if cAbs(sMix.Data[c][i]-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegridderLinearity: the degridder is linear in the subgrid.
+func TestDegridderLinearity(t *testing.T) {
+	k := testKernels(t, 256, 16)
+	f := func(seed uint64) bool {
+		item, uvw, _ := propItem(seed, 3, 2)
+		rnd := newTestRand(seed ^ 0xbeef)
+		s1 := grid.NewSubgrid(16, item.X0, item.Y0)
+		s2 := grid.NewSubgrid(16, item.X0, item.Y0)
+		for c := range s1.Data {
+			for i := range s1.Data[c] {
+				s1.Data[c][i] = complex(rnd(), rnd())
+				s2.Data[c][i] = complex(rnd(), rnd())
+			}
+		}
+		a := complex(-0.5, 2.1)
+		mix := grid.NewSubgrid(16, item.X0, item.Y0)
+		for c := range mix.Data {
+			for i := range mix.Data[c] {
+				mix.Data[c][i] = a*s1.Data[c][i] + s2.Data[c][i]
+			}
+		}
+		out := func(s *grid.Subgrid) []xmath.Matrix2 {
+			v := make([]xmath.Matrix2, item.NrVisibilities())
+			k.DegridSubgrid(item, s, uvw, nil, nil, v)
+			return v
+		}
+		vMix, v1, v2 := out(mix), out(s1), out(s2)
+		for i := range vMix {
+			want := v1[i].Scale(a).Add(v2[i])
+			if vMix[i].MaxAbsDiff(want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScalarATermScalesPixels: a constant scalar A-term g at both
+// stations multiplies the gridded pixels by conj(g)*g = |g|^2 (the
+// gridder applies the adjoint correction).
+func TestScalarATermScalesPixels(t *testing.T) {
+	k := testKernels(t, 256, 16)
+	item, uvw, vis := propItem(7, 4, 2)
+	// A non-unimodular gain, so |g|^2 != 1 and scaling errors show.
+	g := complex(1.2, -0.5)
+	gm := xmath.Matrix2{g, 0, 0, g}
+	maps := make([]xmath.Matrix2, 16*16)
+	for i := range maps {
+		maps[i] = gm
+	}
+	plain := grid.NewSubgrid(16, item.X0, item.Y0)
+	k.GridSubgrid(item, uvw, vis, nil, nil, plain)
+	corrected := grid.NewSubgrid(16, item.X0, item.Y0)
+	k.GridSubgrid(item, uvw, vis, maps, maps, corrected)
+
+	scale := complex(real(g)*real(g)+imag(g)*imag(g), 0) // |g|^2
+	for c := range plain.Data {
+		for i := range plain.Data[c] {
+			want := plain.Data[c][i] * scale
+			if cAbs(corrected.Data[c][i]-want) > 1e-9 {
+				t.Fatalf("pixel %d: got %v want %v", i, corrected.Data[c][i], want)
+			}
+		}
+	}
+}
+
+// TestUVWShiftMovesSubgridAnchor: shifting all uvw coordinates by an
+// exact grid-cell offset and moving the subgrid anchor by the same
+// number of pixels yields the identical subgrid content — the
+// equivariance the adder relies on.
+func TestUVWShiftMovesSubgridAnchor(t *testing.T) {
+	k := testKernels(t, 256, 16)
+	item, uvw, vis := propItem(21, 4, 2)
+
+	a := grid.NewSubgrid(16, item.X0, item.Y0)
+	k.GridSubgrid(item, uvw, vis, nil, nil, a)
+
+	// Shift u by exactly 10 grid cells = 10/ImageSize wavelengths;
+	// with a single-frequency-independent shift this only works
+	// per-channel, so restrict to channel 0's frequency.
+	item1 := item
+	item1.NrChannels = 1
+	vis1 := make([]xmath.Matrix2, item1.NrTimesteps)
+	for t2 := 0; t2 < item1.NrTimesteps; t2++ {
+		vis1[t2] = vis[t2*item.NrChannels]
+	}
+	a1 := grid.NewSubgrid(16, item1.X0, item1.Y0)
+	k.GridSubgrid(item1, uvw, vis1, nil, nil, a1)
+
+	lambda := uvwsim.SpeedOfLight / 150e6
+	shift := 10.0 / 0.1 * lambda // 10 cells in meters at channel 0
+	uvwShifted := make([]uvwsim.UVW, len(uvw))
+	for i, c := range uvw {
+		uvwShifted[i] = uvwsim.UVW{U: c.U + shift, V: c.V, W: c.W}
+	}
+	item2 := item1
+	item2.X0 += 10
+	a2 := grid.NewSubgrid(16, item2.X0, item2.Y0)
+	k.GridSubgrid(item2, uvwShifted, vis1, nil, nil, a2)
+
+	if d := a1.MaxAbsDiff(a2); d > 1e-8 {
+		t.Fatalf("shift equivariance violated: %g", d)
+	}
+}
+
+// TestPlanCoverageProperty: random observations always yield plans
+// whose coverage validates.
+func TestPlanCoverageProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rnd := newTestRand(seed)
+		nb := 3 + int(5*(rnd()+1)/2)
+		nt := 16 + int(48*(rnd()+1)/2)
+		tracks := make([][]uvwsim.UVW, nb)
+		for b := range tracks {
+			tracks[b] = make([]uvwsim.UVW, nt)
+			u, v, w := 400*rnd(), 400*rnd(), 40*rnd()
+			du, dv := rnd(), rnd()
+			for i := range tracks[b] {
+				tracks[b][i] = uvwsim.UVW{
+					U: u + du*float64(i), V: v + dv*float64(i), W: w,
+				}
+			}
+		}
+		cfg := plan.Config{
+			GridSize:    512,
+			SubgridSize: 24,
+			ImageSize:   0.5,
+			Frequencies: []float64{150e6, 151e6},
+			// uvw above are in meters; at 150 MHz and ImageSize 0.5
+			// the pixel span stays within the grid.
+			KernelSupport:          4,
+			MaxTimestepsPerSubgrid: 16,
+			ATermUpdateInterval:    8,
+		}
+		p, err := plan.New(cfg, tracks)
+		if err != nil {
+			return false
+		}
+		_, err = p.ValidateCoverage(tracks)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+// The paper aids vectorization "by using runtime compilation, i.e. we
+// only compile the kernel when the parameters are known at runtime"
+// (Section V-B-a). Go has no runtime compilation, but the analogue is
+// selecting a channel-reduction routine whose trip count is a
+// compile-time constant: the compiler fully unrolls the fixed-width
+// loops below, eliminating the loop-carried bounds checks of the
+// generic version. The gridder picks the widest specialization that
+// matches the work item's channel count.
+
+// channelReducer performs the Listing-1 reduction of one time step:
+// it accumulates nc channels of all four correlations against the
+// phasor buffers.
+type channelReducer func(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base, nc int)
+
+// reduceGeneric handles any channel count.
+func reduceGeneric(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base, nc int) {
+	for c := 0; c < nc; c++ {
+		cr, ci := phRe[c], phIm[c]
+		j := base + c
+		vr, vi := re[0][j], im[0][j]
+		acc[0] += vr*cr - vi*ci
+		acc[1] += vr*ci + vi*cr
+		vr, vi = re[1][j], im[1][j]
+		acc[2] += vr*cr - vi*ci
+		acc[3] += vr*ci + vi*cr
+		vr, vi = re[2][j], im[2][j]
+		acc[4] += vr*cr - vi*ci
+		acc[5] += vr*ci + vi*cr
+		vr, vi = re[3][j], im[3][j]
+		acc[6] += vr*cr - vi*ci
+		acc[7] += vr*ci + vi*cr
+	}
+}
+
+// reduceFixed returns a reducer with a constant trip count.
+func reduceFixed(width int) channelReducer {
+	switch width {
+	case 4:
+		return func(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base, _ int) {
+			reduceN(acc, phRe[:4], phIm[:4], re, im, base)
+		}
+	case 8:
+		return func(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base, _ int) {
+			reduceN(acc, phRe[:8], phIm[:8], re, im, base)
+		}
+	case 16:
+		return func(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base, _ int) {
+			reduceN(acc, phRe[:16], phIm[:16], re, im, base)
+		}
+	default:
+		return reduceGeneric
+	}
+}
+
+// reduceN is the shared body: slicing the phasor buffers to a
+// constant length lets the compiler drop bounds checks in the hot
+// loop (the slice length is known at each call site above).
+func reduceN(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base int) {
+	r0 := re[0][base:]
+	i0 := im[0][base:]
+	r1 := re[1][base:]
+	i1 := im[1][base:]
+	r2 := re[2][base:]
+	i2 := im[2][base:]
+	r3 := re[3][base:]
+	i3 := im[3][base:]
+	for c := range phRe {
+		cr, ci := phRe[c], phIm[c]
+		vr, vi := r0[c], i0[c]
+		acc[0] += vr*cr - vi*ci
+		acc[1] += vr*ci + vi*cr
+		vr, vi = r1[c], i1[c]
+		acc[2] += vr*cr - vi*ci
+		acc[3] += vr*ci + vi*cr
+		vr, vi = r2[c], i2[c]
+		acc[4] += vr*cr - vi*ci
+		acc[5] += vr*ci + vi*cr
+		vr, vi = r3[c], i3[c]
+		acc[6] += vr*cr - vi*ci
+		acc[7] += vr*ci + vi*cr
+	}
+}
+
+// reducerFor selects the reduction routine for a channel count.
+func reducerFor(nc int) channelReducer {
+	switch nc {
+	case 4, 8, 16:
+		return reduceFixed(nc)
+	default:
+		return reduceGeneric
+	}
+}

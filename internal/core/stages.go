@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/grid"
+)
+
+// FFTSubgrids Fourier-transforms a batch of subgrids in place, image
+// domain -> uv domain (the "subgrid FFTs" step of Fig. 4). Each
+// correlation plane is transformed independently with the centered
+// convention; the work is embarrassingly parallel over subgrids, as
+// noted in Section V-B-c.
+func (k *Kernels) FFTSubgrids(subgrids []*grid.Subgrid) {
+	k.transformSubgrids(subgrids, false)
+}
+
+// InverseFFTSubgrids transforms subgrids uv domain -> image domain,
+// used between the splitter and the degridder.
+func (k *Kernels) InverseFFTSubgrids(subgrids []*grid.Subgrid) {
+	k.transformSubgrids(subgrids, true)
+}
+
+func (k *Kernels) transformSubgrids(subgrids []*grid.Subgrid, inverse bool) {
+	workers := k.params.workers()
+	if workers > len(subgrids) {
+		workers = len(subgrids)
+	}
+	// The forward transform is scaled by 1/N~^2 so that (a) gridding a
+	// visibility deposits unit total weight onto the grid and (b) the
+	// degridding pipeline is the exact adjoint of the gridding
+	// pipeline (the inverse transform already carries the 1/N~^2 of
+	// fft.InverseCentered).
+	norm := complex(1/float64(k.params.SubgridSize*k.params.SubgridSize), 0)
+	transform := func(s *grid.Subgrid) {
+		for c := 0; c < grid.NrCorrelations; c++ {
+			if inverse {
+				k.sgFFT.InverseCentered(s.Data[c])
+			} else {
+				k.sgFFT.ForwardCentered(s.Data[c])
+				for i := range s.Data[c] {
+					s.Data[c][i] *= norm
+				}
+			}
+		}
+	}
+	if workers <= 1 {
+		for _, s := range subgrids {
+			transform(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan *grid.Subgrid, len(subgrids))
+	for _, s := range subgrids {
+		ch <- s
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				transform(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Adder accumulates uv-domain subgrids onto the grid. Subgrids may
+// overlap, so parallelizing over subgrids would need per-pixel
+// synchronization; following Section V-B-d the adder parallelizes
+// over grid rows instead: each worker owns a contiguous band of rows
+// and adds the intersecting slice of every subgrid, so no two workers
+// ever touch the same pixel.
+func (k *Kernels) Adder(subgrids []*grid.Subgrid, g *grid.Grid) {
+	if g.N != k.params.GridSize {
+		panic("core: grid size does not match kernel parameters")
+	}
+	workers := k.params.workers()
+	if workers > g.N {
+		workers = g.N
+	}
+	addBand := func(rowLo, rowHi int) {
+		for _, s := range subgrids {
+			if !s.InBounds(g.N) {
+				panic("core: subgrid outside grid")
+			}
+			lo, hi := s.Y0, s.Y0+s.N
+			if lo < rowLo {
+				lo = rowLo
+			}
+			if hi > rowHi {
+				hi = rowHi
+			}
+			for y := lo; y < hi; y++ {
+				sy := y - s.Y0
+				for c := 0; c < grid.NrCorrelations; c++ {
+					dst := g.Data[c][y*g.N+s.X0 : y*g.N+s.X0+s.N]
+					src := s.Data[c][sy*s.N : (sy+1)*s.N]
+					for x := range dst {
+						dst[x] += src[x]
+					}
+				}
+			}
+		}
+	}
+	if workers <= 1 || len(subgrids) == 0 {
+		addBand(0, g.N)
+		return
+	}
+	var wg sync.WaitGroup
+	band := (g.N + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*band, (w+1)*band
+		if hi > g.N {
+			hi = g.N
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			addBand(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Splitter extracts uv-domain subgrids from the grid (the reverse of
+// the adder). The grid is read-only here, so the splitter parallelizes
+// over subgrids (Section V-B-d). Each destination subgrid must already
+// carry its anchor (X0, Y0).
+func (k *Kernels) Splitter(g *grid.Grid, subgrids []*grid.Subgrid) {
+	if g.N != k.params.GridSize {
+		panic("core: grid size does not match kernel parameters")
+	}
+	split := func(s *grid.Subgrid) {
+		if !s.InBounds(g.N) {
+			panic("core: subgrid outside grid")
+		}
+		for c := 0; c < grid.NrCorrelations; c++ {
+			for y := 0; y < s.N; y++ {
+				gy := s.Y0 + y
+				copy(s.Data[c][y*s.N:(y+1)*s.N], g.Data[c][gy*g.N+s.X0:gy*g.N+s.X0+s.N])
+			}
+		}
+	}
+	workers := k.params.workers()
+	if workers > len(subgrids) {
+		workers = len(subgrids)
+	}
+	if workers <= 1 {
+		for _, s := range subgrids {
+			split(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan *grid.Subgrid, len(subgrids))
+	for _, s := range subgrids {
+		ch <- s
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				split(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// AdderSerialLocked is the ablation alternative to Adder: it
+// parallelizes over subgrids and serializes every grid update behind a
+// single mutex, modelling the "prohibitive synchronization costs" the
+// paper avoids. Only benchmarks use it.
+func (k *Kernels) AdderSerialLocked(subgrids []*grid.Subgrid, g *grid.Grid) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	workers := k.params.workers()
+	if workers > len(subgrids) {
+		workers = len(subgrids)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan *grid.Subgrid, len(subgrids))
+	for _, s := range subgrids {
+		ch <- s
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range ch {
+				mu.Lock()
+				for c := 0; c < grid.NrCorrelations; c++ {
+					for y := 0; y < s.N; y++ {
+						gy := s.Y0 + y
+						dst := g.Data[c][gy*g.N+s.X0 : gy*g.N+s.X0+s.N]
+						src := s.Data[c][y*s.N : (y+1)*s.N]
+						for x := range dst {
+							dst[x] += src[x]
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/plan"
+	"repro/internal/sky"
+	"repro/internal/taper"
+	"repro/internal/uvwsim"
+)
+
+// highWScenario fabricates an observation whose baselines carry large
+// w coordinates (hundreds of wavelengths), where plain IDG with a
+// small subgrid loses accuracy and W-stacking must restore it.
+func highWScenario(tb testing.TB, wstep float64) (*plan.Plan, *Kernels, *VisibilitySet, sky.Model) {
+	tb.Helper()
+	const (
+		gridSize  = 128
+		sgSize    = 16
+		imageSize = 0.25
+		freq      = 150e6
+		nt        = 16
+		nb        = 10
+	)
+	lambda := uvwsim.SpeedOfLight / freq
+
+	rnd := newTestRand(99)
+	tracks := make([][]uvwsim.UVW, nb)
+	baselines := make([]uvwsim.Baseline, nb)
+	for b := 0; b < nb; b++ {
+		baselines[b] = uvwsim.Baseline{P: 0, Q: b + 1}
+		tracks[b] = make([]uvwsim.UVW, nt)
+		// Slowly drifting uv at +/- 120 wavelengths, w ramping from
+		// 400 to 1000 wavelengths.
+		u0, v0 := 120*rnd(), 120*rnd()
+		w0 := 400 + 600*(rnd()+1)/2
+		for t := 0; t < nt; t++ {
+			tracks[b][t] = uvwsim.UVW{
+				U: (u0 + 0.05*float64(t)) * lambda,
+				V: (v0 - 0.03*float64(t)) * lambda,
+				W: (w0 + 0.1*float64(t)) * lambda,
+			}
+		}
+	}
+
+	cfg := plan.Config{
+		GridSize:      gridSize,
+		SubgridSize:   sgSize,
+		ImageSize:     imageSize,
+		Frequencies:   []float64{freq},
+		KernelSupport: 4,
+		WStepLambda:   wstep,
+	}
+	p, err := plan.New(cfg, tracks)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := p.ValidateCoverage(tracks); err != nil {
+		tb.Fatal(err)
+	}
+	k, err := NewKernels(Params{
+		GridSize:    gridSize,
+		SubgridSize: sgSize,
+		ImageSize:   imageSize,
+		Frequencies: []float64{freq},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	vs := NewVisibilitySet(baselines, tracks, 1)
+	pix := imageSize / gridSize
+	model := sky.Model{{L: 18 * pix, M: -10 * pix, I: 1}}
+	return p, k, vs, model
+}
+
+// degridError predicts the model through the given pipeline and
+// returns the max relative error vs the taper-weighted measurement
+// equation.
+func degridError(tb testing.TB, p *plan.Plan, k *Kernels, vs *VisibilitySet, model sky.Model, stacked bool) float64 {
+	tb.Helper()
+	img := model.Rasterize(p.GridSize, p.ImageSize)
+	var err error
+	if stacked {
+		_, err = k.DegridVisibilitiesWStacked(p, vs, nil, img)
+	} else {
+		g := ImageToGrid(img, 0)
+		_, err = k.DegridVisibilities(p, vs, nil, g)
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+	half := p.ImageSize / 2
+	src := model[0]
+	taperFlux := src.I * sphAt(src.L/half) * sphAt(src.M/half)
+	var maxErr float64
+	for b := range vs.Data {
+		for t := 0; t < vs.NrTimesteps; t++ {
+			sc := vs.UVW[b][t].Scale(p.Frequencies[0])
+			want := (sky.Model{{L: src.L, M: src.M, I: taperFlux}}).Predict(sc.U, sc.V, sc.W)
+			got := vs.Data[b][t]
+			if d := got.MaxAbsDiff(want) / taperFlux; d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	return maxErr
+}
+
+func TestWStackingRestoresAccuracy(t *testing.T) {
+	// Plain IDG (single w=0 plane) on high-w data.
+	pPlain, k, vs, model := highWScenario(t, 0)
+	plainErr := degridError(t, pPlain, k, vs, model, false)
+
+	// W-stacked IDG with 100-wavelength layers on the same data.
+	pStack, k2, vs2, model2 := highWScenario(t, 100)
+	stackErr := degridError(t, pStack, k2, vs2, model2, true)
+
+	t.Logf("degrid max rel err: plain %.3e, w-stacked %.3e", plainErr, stackErr)
+	if plainErr < 5*stackErr {
+		t.Fatalf("w-stacking should improve accuracy substantially: plain %.3e vs stacked %.3e",
+			plainErr, stackErr)
+	}
+	if stackErr > 2e-2 {
+		t.Fatalf("stacked error %.3e still too large", stackErr)
+	}
+}
+
+func TestWStackedGriddingRecoversSource(t *testing.T) {
+	p, k, vs, model := highWScenario(t, 100)
+	// Fill with exact model predictions.
+	for b := range vs.Data {
+		for tt := 0; tt < vs.NrTimesteps; tt++ {
+			sc := vs.UVW[b][tt].Scale(p.Frequencies[0])
+			vs.Data[b][tt] = model.Predict(sc.U, sc.V, sc.W)
+		}
+	}
+	grids, _, err := k.GridVisibilitiesWStacked(p, vs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) < 2 {
+		t.Fatalf("expected multiple w-planes, got %d", len(grids))
+	}
+	img := k.CombineWStackedImage(grids, p.WStepLambda)
+	st := p.Stats()
+	ScaleImage(img, float64(p.GridSize*p.GridSize)/float64(st.NrGriddedVisibilities))
+	ApplyTaperCorrection(img, k.TaperCorrection(p.GridSize))
+	x, y, peak := peakStokesI(img)
+	wantX, wantY := sky.LMToPixel(model[0].L, model[0].M, p.GridSize, p.ImageSize)
+	if x != wantX || y != wantY {
+		t.Fatalf("peak at (%d,%d), want (%d,%d)", x, y, wantX, wantY)
+	}
+	if peak < 0.9 || peak > 1.1 {
+		t.Fatalf("peak %.3f, want ~1", peak)
+	}
+}
+
+func TestWStackRejectsPlainPlan(t *testing.T) {
+	p, k, vs, _ := highWScenario(t, 0)
+	if _, _, err := k.GridVisibilitiesWStacked(p, vs, nil); err == nil {
+		t.Fatal("expected error for plan without w-layers")
+	}
+	img := grid.NewGrid(p.GridSize)
+	if _, err := k.DegridVisibilitiesWStacked(p, vs, nil, img); err == nil {
+		t.Fatal("expected error for plan without w-layers")
+	}
+}
+
+func TestWPlanesSorted(t *testing.T) {
+	p, _, _, _ := highWScenario(t, 100)
+	planes := WPlanes(p)
+	for i := 1; i < len(planes); i++ {
+		if planes[i] <= planes[i-1] {
+			t.Fatal("planes not strictly sorted")
+		}
+	}
+}
+
+// sphAt mirrors the scenario taper (prolate spheroidal).
+func sphAt(nu float64) float64 {
+	return taper.Spheroidal(nu)
+}

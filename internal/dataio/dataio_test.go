@@ -1,0 +1,160 @@
+package dataio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/uvwsim"
+)
+
+func sampleSet(t *testing.T) (*core.VisibilitySet, []float64) {
+	t.Helper()
+	baselines := []uvwsim.Baseline{{P: 0, Q: 1}, {P: 0, Q: 2}, {P: 1, Q: 2}}
+	const nt, nc = 5, 4
+	uvw := make([][]uvwsim.UVW, len(baselines))
+	state := uint64(1)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11)/float64(1<<52) - 1
+	}
+	for b := range uvw {
+		uvw[b] = make([]uvwsim.UVW, nt)
+		for i := range uvw[b] {
+			uvw[b][i] = uvwsim.UVW{U: 1e4 * next(), V: 1e4 * next(), W: 1e3 * next()}
+		}
+	}
+	vs := core.NewVisibilitySet(baselines, uvw, nc)
+	for b := range vs.Data {
+		for i := range vs.Data[b] {
+			for p := 0; p < 4; p++ {
+				vs.Data[b][i][p] = complex(next(), next())
+			}
+		}
+	}
+	freqs := []float64{150e6, 150.2e6, 150.4e6, 150.6e6}
+	return vs, freqs
+}
+
+func TestRoundtrip(t *testing.T) {
+	vs, freqs := sampleSet(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, vs, freqs); err != nil {
+		t.Fatal(err)
+	}
+	got, gotFreqs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotFreqs) != len(freqs) || gotFreqs[0] != freqs[0] {
+		t.Fatal("frequencies mangled")
+	}
+	if len(got.Baselines) != len(vs.Baselines) || got.Baselines[2] != vs.Baselines[2] {
+		t.Fatal("baselines mangled")
+	}
+	// uvw is exact (float64).
+	for b := range vs.UVW {
+		for i := range vs.UVW[b] {
+			if got.UVW[b][i] != vs.UVW[b][i] {
+				t.Fatal("uvw mangled")
+			}
+		}
+	}
+	// Visibilities roundtrip through float32.
+	var maxErr float64
+	for b := range vs.Data {
+		for i := range vs.Data[b] {
+			if d := got.Data[b][i].MaxAbsDiff(vs.Data[b][i]); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	if maxErr > 1e-6 {
+		t.Fatalf("visibility roundtrip error %g exceeds float32 precision", maxErr)
+	}
+}
+
+func TestReadHeaderOnly(t *testing.T) {
+	vs, freqs := sampleSet(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, vs, freqs); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NrBaselines != 3 || h.NrTimesteps != 5 || h.NrChannels != 4 {
+		t.Fatalf("header = %+v", h)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	vs, freqs := sampleSet(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, vs, freqs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one visibility byte (keep header intact).
+	data[len(data)-20] ^= 0xFF
+	if _, _, err := Read(bytes.NewReader(data)); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("expected checksum error, got %v", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("NOTAFILE" + strings.Repeat("x", 100))); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	vs, freqs := sampleSet(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, vs, freqs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, n := range []int{4, 20, len(data) / 2, len(data) - 4} {
+		if _, _, err := Read(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncation at %d bytes not detected", n)
+		}
+	}
+}
+
+func TestImplausibleDimensionsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	// Dimensions that would allocate petabytes.
+	for _, v := range []int64{1 << 30, 1 << 30, 1 << 30} {
+		for i := 0; i < 8; i++ {
+			buf.WriteByte(byte(v >> (8 * i)))
+		}
+	}
+	if _, err := ReadHeader(&buf); err == nil {
+		t.Fatal("expected dimension sanity error")
+	}
+}
+
+func TestFrequencyCountMismatch(t *testing.T) {
+	vs, _ := sampleSet(t)
+	if err := Write(&bytes.Buffer{}, vs, []float64{150e6}); err == nil {
+		t.Fatal("expected frequency count error")
+	}
+}
+
+func TestBadFrequencyRejected(t *testing.T) {
+	vs, freqs := sampleSet(t)
+	freqs[1] = math.NaN()
+	var buf bytes.Buffer
+	if err := Write(&buf, vs, freqs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHeader(&buf); err == nil {
+		t.Fatal("expected frequency validation error")
+	}
+}

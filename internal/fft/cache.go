@@ -1,0 +1,41 @@
+package fft
+
+import "sync"
+
+// Plans are immutable after construction and relatively expensive to
+// build (twiddle tables, bit-reversal permutations, Bluestein chirp
+// transforms), while the pipelines create transforms of the same few
+// sizes over and over (every GridToImage call, every W-layer). The
+// package-level cache below memoizes them; Plan and Plan2D are safe
+// for concurrent use, so sharing is free.
+
+var (
+	cacheMu sync.Mutex
+	cache1D = make(map[int]*Plan)
+	cache2D = make(map[[2]int]*Plan2D)
+)
+
+// CachedPlan returns a shared plan for length n.
+func CachedPlan(n int) *Plan {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if p, ok := cache1D[n]; ok {
+		return p
+	}
+	p := NewPlan(n)
+	cache1D[n] = p
+	return p
+}
+
+// CachedPlan2D returns a shared 2-D plan for rows x cols.
+func CachedPlan2D(rows, cols int) *Plan2D {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	key := [2]int{rows, cols}
+	if p, ok := cache2D[key]; ok {
+		return p
+	}
+	p := NewPlan2D(rows, cols)
+	cache2D[key] = p
+	return p
+}

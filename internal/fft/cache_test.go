@@ -1,0 +1,59 @@
+package fft
+
+import (
+	"math/cmplx"
+	"sync"
+	"testing"
+)
+
+func TestCachedPlanIsShared(t *testing.T) {
+	a := CachedPlan(48)
+	b := CachedPlan(48)
+	if a != b {
+		t.Fatal("cache returned distinct plans for the same size")
+	}
+	if CachedPlan(64) == a {
+		t.Fatal("different sizes must get different plans")
+	}
+}
+
+func TestCachedPlan2DIsShared(t *testing.T) {
+	a := CachedPlan2D(24, 24)
+	b := CachedPlan2D(24, 24)
+	if a != b {
+		t.Fatal("cache returned distinct 2D plans")
+	}
+	if CachedPlan2D(24, 32) == a {
+		t.Fatal("different shapes must get different plans")
+	}
+}
+
+func TestCachedPlanConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	plans := make([]*Plan2D, 16)
+	for i := range plans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plans[i] = CachedPlan2D(36, 36)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(plans); i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("concurrent callers received distinct plans")
+		}
+	}
+}
+
+func TestCachedPlanTransformsCorrectly(t *testing.T) {
+	p := CachedPlan(24)
+	x := make([]complex128, 24)
+	x[0] = 1
+	p.Forward(x)
+	for _, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatal("cached plan broken")
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package fft implements the discrete Fourier transforms the IDG
+// pipeline needs: plan-based 1-D complex transforms (iterative radix-2
+// for power-of-two sizes, Bluestein's algorithm for everything else),
+// 2-D transforms, centered (fftshift-ed) transforms, and batched
+// parallel execution. It plays the role MKL, cuFFT and clFFT play in
+// the paper: the subgrid FFTs and the final grid FFT.
+//
+// Conventions: Forward computes X[k] = sum_j x[j] exp(-2*pi*i*j*k/n)
+// (unnormalized); Inverse applies the opposite sign and scales by 1/n,
+// so Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan holds the precomputed tables for transforms of one size.
+// A Plan is safe for concurrent use by multiple goroutines: all state
+// is read-only after construction, and scratch buffers are allocated
+// per call (Bluestein) or not needed (radix-2).
+type Plan struct {
+	n    int
+	pow2 bool
+
+	// Radix-2 tables.
+	perm    []int32      // bit-reversal permutation
+	twiddle []complex128 // n/2 forward roots of unity
+
+	// Mixed-radix plan for 2/3/5-smooth lengths (nil otherwise).
+	mixed *mixedPlan
+
+	// Bluestein tables (nil for power-of-two sizes).
+	bm         int          // convolution size (power of two >= 2n-1)
+	bPlan      *Plan        // radix-2 plan of size bm
+	chirp      []complex128 // exp(-i*pi*k^2/n), k = 0..n-1
+	bKernelFFT []complex128 // FFT of the chirp convolution kernel
+}
+
+// NewPlan creates a transform plan for length n. It panics if n < 1,
+// matching the contract of the standard library's panics on programmer
+// error (a transform length is never data-dependent in this codebase).
+func NewPlan(n int) *Plan {
+	if n < 1 {
+		panic(fmt.Sprintf("fft: invalid transform length %d", n))
+	}
+	p := &Plan{n: n}
+	if n&(n-1) == 0 {
+		p.pow2 = true
+		p.initRadix2()
+		return p
+	}
+	if factors, ok := smoothFactors(n); ok {
+		p.mixed = newMixedPlan(n, factors)
+		return p
+	}
+	p.initBluestein()
+	return p
+}
+
+// N returns the transform length of the plan.
+func (p *Plan) N() int { return p.n }
+
+func (p *Plan) initRadix2() {
+	n := p.n
+	logN := bits.TrailingZeros(uint(n))
+	p.perm = make([]int32, n)
+	for i := 0; i < n; i++ {
+		p.perm[i] = int32(bits.Reverse32(uint32(i)) >> (32 - logN))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for i := range p.twiddle {
+		ang := -2 * math.Pi * float64(i) / float64(n)
+		p.twiddle[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	if n == 1 {
+		p.perm[0] = 0
+	}
+}
+
+func (p *Plan) initBluestein() {
+	n := p.n
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p.bm = m
+	p.bPlan = NewPlan(m)
+	p.chirp = make([]complex128, n)
+	kernel := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		// Use k^2 mod 2n to keep the angle small and exact.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := -math.Pi * float64(kk) / float64(n)
+		c := complex(math.Cos(ang), math.Sin(ang))
+		p.chirp[k] = c
+		kernel[k] = complex(real(c), -imag(c)) // conj: exp(+i...)
+		if k > 0 {
+			kernel[m-k] = kernel[k]
+		}
+	}
+	p.bPlan.forwardRadix2(kernel)
+	p.bKernelFFT = kernel
+}
+
+// Forward transforms x in place with the negative-exponent convention.
+// It panics if len(x) != N().
+func (p *Plan) Forward(x []complex128) {
+	p.checkLen(x)
+	if p.pow2 {
+		p.forwardRadix2(x)
+		return
+	}
+	if p.mixed != nil {
+		p.mixed.forward(x)
+		return
+	}
+	p.bluestein(x)
+}
+
+// Inverse transforms x in place with the positive-exponent convention
+// and scales by 1/n, so that Inverse is the exact inverse of Forward.
+func (p *Plan) Inverse(x []complex128) {
+	p.checkLen(x)
+	// inverse(x) = conj(forward(conj(x))) / n
+	for i, v := range x {
+		x[i] = complex(real(v), -imag(v))
+	}
+	p.Forward(x)
+	inv := 1 / float64(p.n)
+	for i, v := range x {
+		x[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+}
+
+func (p *Plan) checkLen(x []complex128) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: input length %d does not match plan length %d", len(x), p.n))
+	}
+}
+
+func (p *Plan) forwardRadix2(x []complex128) {
+	n := p.n
+	if n == 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, pi := range p.perm {
+		if int32(i) < pi {
+			x[i], x[pi] = x[pi], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for base := 0; base < n; base += size {
+			tw := 0
+			for j := base; j < base+half; j++ {
+				w := p.twiddle[tw]
+				t := w * x[j+half]
+				x[j+half] = x[j] - t
+				x[j] = x[j] + t
+				tw += step
+			}
+		}
+	}
+}
+
+func (p *Plan) bluestein(x []complex128) {
+	n, m := p.n, p.bm
+	a := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * p.chirp[k]
+	}
+	p.bPlan.forwardRadix2(a)
+	for i := range a {
+		a[i] *= p.bKernelFFT[i]
+	}
+	// Inverse transform of size m (manually, to reuse radix-2 core).
+	for i, v := range a {
+		a[i] = complex(real(v), -imag(v))
+	}
+	p.bPlan.forwardRadix2(a)
+	inv := 1 / float64(m)
+	for k := 0; k < n; k++ {
+		v := complex(real(a[k])*inv, -imag(a[k])*inv)
+		x[k] = v * p.chirp[k]
+	}
+}
+
+// DFTDirect computes the forward DFT by direct summation. It is O(n^2)
+// and exists as the ground-truth reference for the test suite.
+func DFTDirect(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			sum += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = sum
+	}
+	return out
+}

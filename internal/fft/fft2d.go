@@ -1,0 +1,197 @@
+package fft
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Plan2D performs 2-D transforms on row-major data of size rows x cols.
+// Like Plan, a Plan2D is safe for concurrent use.
+type Plan2D struct {
+	rows, cols int
+	rowPlan    *Plan
+	colPlan    *Plan
+}
+
+// NewPlan2D creates a 2-D plan. Square plans share nothing between the
+// two dimensions beyond the underlying 1-D plans.
+func NewPlan2D(rows, cols int) *Plan2D {
+	p := &Plan2D{rows: rows, cols: cols}
+	p.colPlan = NewPlan(cols) // transforms along a row (length = cols)
+	if rows == cols {
+		p.rowPlan = p.colPlan
+	} else {
+		p.rowPlan = NewPlan(rows)
+	}
+	return p
+}
+
+// Rows returns the number of rows of the plan.
+func (p *Plan2D) Rows() int { return p.rows }
+
+// Cols returns the number of columns of the plan.
+func (p *Plan2D) Cols() int { return p.cols }
+
+func (p *Plan2D) checkLen(x []complex128) {
+	if len(x) != p.rows*p.cols {
+		panic(fmt.Sprintf("fft: input length %d does not match %dx%d plan",
+			len(x), p.rows, p.cols))
+	}
+}
+
+// Forward transforms x (row-major, rows x cols) in place.
+func (p *Plan2D) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse applies the inverse 2-D transform in place, scaling by
+// 1/(rows*cols) overall.
+func (p *Plan2D) Inverse(x []complex128) {
+	p.transform(x, true)
+}
+
+func (p *Plan2D) transform(x []complex128, inverse bool) {
+	p.checkLen(x)
+	// Transform every row.
+	for r := 0; r < p.rows; r++ {
+		row := x[r*p.cols : (r+1)*p.cols]
+		if inverse {
+			p.colPlan.Inverse(row)
+		} else {
+			p.colPlan.Forward(row)
+		}
+	}
+	// Transform every column via a scratch buffer.
+	col := make([]complex128, p.rows)
+	for c := 0; c < p.cols; c++ {
+		for r := 0; r < p.rows; r++ {
+			col[r] = x[r*p.cols+c]
+		}
+		if inverse {
+			p.rowPlan.Inverse(col)
+		} else {
+			p.rowPlan.Forward(col)
+		}
+		for r := 0; r < p.rows; r++ {
+			x[r*p.cols+c] = col[r]
+		}
+	}
+}
+
+// ForwardParallel transforms x in place using up to workers goroutines
+// (<=0 means GOMAXPROCS). Large grid transforms (2048 x 2048 in the
+// paper's dataset) benefit from this; subgrid transforms are too small
+// and are instead batched across subgrids, see TransformBatch.
+func (p *Plan2D) ForwardParallel(x []complex128, workers int) {
+	p.transformParallel(x, false, workers)
+}
+
+// InverseParallel is the parallel variant of Inverse.
+func (p *Plan2D) InverseParallel(x []complex128, workers int) {
+	p.transformParallel(x, true, workers)
+}
+
+func (p *Plan2D) transformParallel(x []complex128, inverse bool, workers int) {
+	p.checkLen(x)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > p.rows {
+		workers = p.rows
+	}
+	if workers <= 1 {
+		p.transform(x, inverse)
+		return
+	}
+	var wg sync.WaitGroup
+	// Rows.
+	chunk := (p.rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > p.rows {
+			hi = p.rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for r := lo; r < hi; r++ {
+				row := x[r*p.cols : (r+1)*p.cols]
+				if inverse {
+					p.colPlan.Inverse(row)
+				} else {
+					p.colPlan.Forward(row)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	// Columns.
+	chunk = (p.cols + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > p.cols {
+			hi = p.cols
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			col := make([]complex128, p.rows)
+			for c := lo; c < hi; c++ {
+				for r := 0; r < p.rows; r++ {
+					col[r] = x[r*p.cols+c]
+				}
+				if inverse {
+					p.rowPlan.Inverse(col)
+				} else {
+					p.rowPlan.Forward(col)
+				}
+				for r := 0; r < p.rows; r++ {
+					x[r*p.cols+c] = col[r]
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// TransformBatch applies the plan to many independent row-major arrays
+// in parallel (the "embarrassingly parallel" subgrid FFT step of the
+// paper, Section V-B(c)). Each element of batch must have length
+// rows*cols. inverse selects the transform direction.
+func (p *Plan2D) TransformBatch(batch [][]complex128, inverse bool, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers <= 1 {
+		for _, x := range batch {
+			p.transform(x, inverse)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan []complex128, len(batch))
+	for _, x := range batch {
+		next <- x
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for x := range next {
+				p.transform(x, inverse)
+			}
+		}()
+	}
+	wg.Wait()
+}

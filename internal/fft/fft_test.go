@@ -1,0 +1,238 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(r *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+var testSizes = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 15, 16, 17, 24, 30, 31, 32, 45, 48, 60, 64, 100, 128, 243, 256, 360, 1000, 1024}
+
+func TestForwardMatchesDirectDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range testSizes {
+		p := NewPlan(n)
+		x := randVec(r, n)
+		want := DFTDirect(x)
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		tol := 1e-9 * float64(n)
+		if d := maxDiff(got, want); d > tol {
+			t.Fatalf("n=%d: FFT differs from direct DFT by %g", n, d)
+		}
+	}
+}
+
+func TestForwardInverseRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range testSizes {
+		p := NewPlan(n)
+		x := randVec(r, n)
+		y := append([]complex128(nil), x...)
+		p.Forward(y)
+		p.Inverse(y)
+		if d := maxDiff(x, y); d > 1e-10*float64(n) {
+			t.Fatalf("n=%d: roundtrip error %g", n, d)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range testSizes {
+		p := NewPlan(n)
+		x := randVec(r, n)
+		var eIn float64
+		for _, v := range x {
+			eIn += real(v)*real(v) + imag(v)*imag(v)
+		}
+		p.Forward(x)
+		var eOut float64
+		for _, v := range x {
+			eOut += real(v)*real(v) + imag(v)*imag(v)
+		}
+		eOut /= float64(n)
+		if math.Abs(eIn-eOut) > 1e-9*(1+eIn) {
+			t.Fatalf("n=%d: Parseval violated: %g vs %g", n, eIn, eOut)
+		}
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	p := NewPlan(64)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x, y := randVec(r, 64), randVec(r, 64)
+		a := complex(r.NormFloat64(), r.NormFloat64())
+		// FFT(a*x + y)
+		mix := make([]complex128, 64)
+		for i := range mix {
+			mix[i] = a*x[i] + y[i]
+		}
+		p.Forward(mix)
+		// a*FFT(x) + FFT(y)
+		p.Forward(x)
+		p.Forward(y)
+		for i := range x {
+			x[i] = a*x[i] + y[i]
+		}
+		return maxDiff(mix, x) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImpulseGivesFlatSpectrum(t *testing.T) {
+	for _, n := range []int{8, 24, 31} {
+		p := NewPlan(n)
+		x := make([]complex128, n)
+		x[0] = 1
+		p.Forward(x)
+		for k, v := range x {
+			if cmplx.Abs(v-1) > 1e-10 {
+				t.Fatalf("n=%d: impulse spectrum not flat at k=%d: %v", n, k, v)
+			}
+		}
+	}
+}
+
+func TestDCGivesImpulse(t *testing.T) {
+	n := 24
+	p := NewPlan(n)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 1
+	}
+	p.Forward(x)
+	if cmplx.Abs(x[0]-complex(float64(n), 0)) > 1e-10 {
+		t.Fatalf("DC bin = %v, want %d", x[0], n)
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(x[k]) > 1e-9 {
+			t.Fatalf("bin %d = %v, want 0", k, x[k])
+		}
+	}
+}
+
+func TestSingleToneLandsInRightBin(t *testing.T) {
+	n := 64
+	p := NewPlan(n)
+	for _, bin := range []int{1, 5, 31, 63} {
+		x := make([]complex128, n)
+		for j := range x {
+			ang := 2 * math.Pi * float64(bin) * float64(j) / float64(n)
+			x[j] = complex(math.Cos(ang), math.Sin(ang))
+		}
+		p.Forward(x)
+		for k := range x {
+			want := complex128(0)
+			if k == bin {
+				want = complex(float64(n), 0)
+			}
+			if cmplx.Abs(x[k]-want) > 1e-9*float64(n) {
+				t.Fatalf("tone %d: bin %d = %v, want %v", bin, k, x[k], want)
+			}
+		}
+	}
+}
+
+func TestShiftInverseShiftRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 9, 24, 25} {
+		x := randVec(r, n)
+		y := append([]complex128(nil), x...)
+		Shift(y)
+		InverseShift(y)
+		if maxDiff(x, y) != 0 {
+			t.Fatalf("n=%d: shift roundtrip not exact", n)
+		}
+	}
+}
+
+func TestShiftMovesDC(t *testing.T) {
+	for _, n := range []int{4, 5, 8, 24, 31} {
+		x := make([]complex128, n)
+		x[0] = 1
+		Shift(x)
+		if x[n/2] != 1 {
+			t.Fatalf("n=%d: DC not moved to center; %v", n, x)
+		}
+	}
+}
+
+func TestPlanLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	NewPlan(8).Forward(make([]complex128, 7))
+}
+
+func TestNewPlanInvalidLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NewPlan(0)
+}
+
+func TestConjugateSymmetryOfRealInput(t *testing.T) {
+	n := 32
+	p := NewPlan(n)
+	r := rand.New(rand.NewSource(5))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), 0)
+	}
+	p.Forward(x)
+	for k := 1; k < n; k++ {
+		if d := cmplx.Abs(x[k] - cmplx.Conj(x[n-k])); d > 1e-10 {
+			t.Fatalf("hermitian symmetry violated at k=%d: %g", k, d)
+		}
+	}
+}
+
+func TestTimeShiftTheorem(t *testing.T) {
+	// A circular shift in time multiplies the spectrum by a phase ramp.
+	n := 48
+	p := NewPlan(n)
+	r := rand.New(rand.NewSource(6))
+	x := randVec(r, n)
+	shift := 7
+	shifted := make([]complex128, n)
+	for i := range x {
+		shifted[(i+shift)%n] = x[i]
+	}
+	p.Forward(x)
+	p.Forward(shifted)
+	for k := 0; k < n; k++ {
+		ang := -2 * math.Pi * float64(k) * float64(shift) / float64(n)
+		want := x[k] * complex(math.Cos(ang), math.Sin(ang))
+		if d := cmplx.Abs(shifted[k] - want); d > 1e-9 {
+			t.Fatalf("shift theorem violated at k=%d: %g", k, d)
+		}
+	}
+}

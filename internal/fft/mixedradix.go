@@ -1,0 +1,154 @@
+package fft
+
+import (
+	"math"
+	"sync"
+)
+
+// The paper's subgrids are 24 pixels (2^3 * 3); vendor FFT libraries
+// handle such sizes with mixed-radix decompositions rather than the
+// generic Bluestein fallback. This file implements a recursive
+// mixed-radix Cooley-Tukey transform for lengths whose prime factors
+// are 2, 3 and 5. Radix-2 and radix-3 butterflies are specialized,
+// and work buffers are pooled so concurrent transforms do not
+// allocate.
+
+// smoothFactors factors n into primes from {2, 3, 5}; ok is false if
+// other factors remain. Larger factors first keeps the leaf
+// transforms short.
+func smoothFactors(n int) (factors []int, ok bool) {
+	for _, p := range []int{5, 3, 2} {
+		for n%p == 0 {
+			factors = append(factors, p)
+			n /= p
+		}
+	}
+	return factors, n == 1
+}
+
+// mixedPlan holds the precomputed state for a mixed-radix transform.
+type mixedPlan struct {
+	n       int
+	factors []int
+	// roots[j] = exp(-2*pi*i*j/n); all twiddles are powers of these.
+	roots []complex128
+	pool  sync.Pool // *[]complex128 of length 2n
+}
+
+func newMixedPlan(n int, factors []int) *mixedPlan {
+	p := &mixedPlan{n: n, factors: factors}
+	p.roots = make([]complex128, n)
+	for j := 0; j < n; j++ {
+		ang := -2 * math.Pi * float64(j) / float64(n)
+		p.roots[j] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	p.pool.New = func() interface{} {
+		buf := make([]complex128, 2*n)
+		return &buf
+	}
+	return p
+}
+
+// forward computes the DFT of x in place.
+func (p *mixedPlan) forward(x []complex128) {
+	bufp := p.pool.Get().(*[]complex128)
+	buf := *bufp
+	out, scratch := buf[:p.n], buf[p.n:]
+	p.rec(x, out, scratch, p.n, 1, 0)
+	copy(x, out)
+	p.pool.Put(bufp)
+}
+
+// rec computes the n-point DFT of src[0], src[stride], ... into
+// dst[0..n); level indexes into the factor list. scratch has room for
+// n elements and is free once the recursive sub-calls returned.
+func (p *mixedPlan) rec(src, dst, scratch []complex128, n, stride, level int) {
+	switch n {
+	case 1:
+		dst[0] = src[0]
+		return
+	case 2:
+		a, b := src[0], src[stride]
+		dst[0], dst[1] = a+b, a-b
+		return
+	case 3:
+		p.dft3(src, dst, stride)
+		return
+	case 5:
+		p.dftSmall(src, dst, 5, stride)
+		return
+	}
+	r := p.factors[level]
+	m := n / r
+	// Decimation in time: r interleaved sub-transforms of length m.
+	for j := 0; j < r; j++ {
+		p.rec(src[j*stride:], dst[j*m:], scratch, m, stride*r, level+1)
+	}
+	// Combine: output index k + q*m gets
+	// sum_j dst[j*m + k] * W^(j*(k + q*m)) with twiddle stride p.n/n
+	// in the global root table.
+	rootStride := p.n / n
+	switch r {
+	case 2:
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := dst[m+k] * p.roots[k*rootStride]
+			scratch[k], scratch[m+k] = a+b, a-b
+		}
+	case 3:
+		for k := 0; k < m; k++ {
+			a := dst[k]
+			b := dst[m+k] * p.roots[k*rootStride]
+			c := dst[2*m+k] * p.roots[2*k*rootStride%p.n]
+			// Radix-3 butterfly with w = exp(-2*pi*i/3).
+			t1 := b + c
+			t2 := a - t1/2
+			t3 := mulByI(b-c) * complex(-0.8660254037844386, 0) // sin(2*pi/3)
+			scratch[k] = a + t1
+			scratch[m+k] = t2 + t3
+			scratch[2*m+k] = t2 - t3
+		}
+	default:
+		for k := 0; k < m; k++ {
+			for q := 0; q < r; q++ {
+				idx := k + q*m
+				var sum complex128
+				for j := 0; j < r; j++ {
+					w := p.roots[(j*idx*rootStride)%p.n]
+					sum += dst[j*m+k] * w
+				}
+				scratch[idx] = sum
+			}
+		}
+	}
+	copy(dst[:n], scratch[:n])
+}
+
+// dft3 computes a 3-point DFT directly.
+func (p *mixedPlan) dft3(src, dst []complex128, stride int) {
+	a, b, c := src[0], src[stride], src[2*stride]
+	t1 := b + c
+	t2 := a - t1/2
+	t3 := mulByI(b-c) * complex(-0.8660254037844386, 0)
+	dst[0] = a + t1
+	dst[1] = t2 + t3
+	dst[2] = t2 - t3
+}
+
+// dftSmall computes an n-point DFT by direct summation using the
+// plan's root table (used only for tiny leaf sizes).
+func (p *mixedPlan) dftSmall(src, dst []complex128, n, stride int) {
+	rootStride := p.n / n
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			sum += src[j*stride] * p.roots[(j*k*rootStride)%p.n]
+		}
+		dst[k] = sum
+	}
+}
+
+// mulByI returns i*z.
+func mulByI(z complex128) complex128 {
+	return complex(-imag(z), real(z))
+}

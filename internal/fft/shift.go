@@ -1,0 +1,116 @@
+package fft
+
+// The IDG subgrids are images whose center pixel (N/2, N/2) is the
+// phase center, while the DFT convention puts the zero frequency at
+// index 0. The centered transforms below absorb the required
+// fftshift/ifftshift pairs so that both the image-domain and the
+// uv-domain arrays keep "DC in the middle", which is the layout the
+// gridder, adder and splitter use.
+
+// Shift performs an fftshift of x in place: it rotates the data right
+// by floor(n/2) (equivalently left by ceil(n/2)), moving the
+// zero-frequency element to index n/2.
+func Shift(x []complex128) {
+	rotate(x, (len(x)+1)/2)
+}
+
+// InverseShift performs an ifftshift in place: it rotates the data left
+// by floor(n/2), undoing Shift for any length.
+func InverseShift(x []complex128) {
+	rotate(x, len(x)/2)
+}
+
+// rotate rotates x left by k positions using the three-reversal trick.
+func rotate(x []complex128, k int) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	k %= n
+	if k == 0 {
+		return
+	}
+	reverse(x[:k])
+	reverse(x[k:])
+	reverse(x)
+}
+
+func reverse(x []complex128) {
+	for i, j := 0, len(x)-1; i < j; i, j = i+1, j-1 {
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// Shift2D applies fftshift along both axes of a rows x cols row-major
+// array.
+func Shift2D(x []complex128, rows, cols int) {
+	shift2D(x, rows, cols, false)
+}
+
+// InverseShift2D applies ifftshift along both axes.
+func InverseShift2D(x []complex128, rows, cols int) {
+	shift2D(x, rows, cols, true)
+}
+
+func shift2D(x []complex128, rows, cols int, inverse bool) {
+	if len(x) != rows*cols {
+		panic("fft: shift2D size mismatch")
+	}
+	for r := 0; r < rows; r++ {
+		row := x[r*cols : (r+1)*cols]
+		if inverse {
+			InverseShift(row)
+		} else {
+			Shift(row)
+		}
+	}
+	col := make([]complex128, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = x[r*cols+c]
+		}
+		if inverse {
+			InverseShift(col)
+		} else {
+			Shift(col)
+		}
+		for r := 0; r < rows; r++ {
+			x[r*cols+c] = col[r]
+		}
+	}
+}
+
+// ForwardCentered computes the centered forward 2-D transform:
+// fftshift(FFT(ifftshift(x))). Both input and output have DC at
+// (rows/2, cols/2). This is the image-domain -> uv-domain direction
+// used after the gridder kernel.
+func (p *Plan2D) ForwardCentered(x []complex128) {
+	InverseShift2D(x, p.rows, p.cols)
+	p.Forward(x)
+	Shift2D(x, p.rows, p.cols)
+}
+
+// InverseCentered computes fftshift(IFFT(ifftshift(x))), the
+// uv-domain -> image-domain direction used before the degridder kernel
+// and for turning the final grid into a sky image.
+func (p *Plan2D) InverseCentered(x []complex128) {
+	InverseShift2D(x, p.rows, p.cols)
+	p.Inverse(x)
+	Shift2D(x, p.rows, p.cols)
+}
+
+// ForwardCenteredParallel is ForwardCentered with a parallel core
+// transform; the shifts remain serial (they are bandwidth trivial
+// compared to the transform for the sizes used here).
+func (p *Plan2D) ForwardCenteredParallel(x []complex128, workers int) {
+	InverseShift2D(x, p.rows, p.cols)
+	p.ForwardParallel(x, workers)
+	Shift2D(x, p.rows, p.cols)
+}
+
+// InverseCenteredParallel is the parallel variant of InverseCentered.
+func (p *Plan2D) InverseCenteredParallel(x []complex128, workers int) {
+	InverseShift2D(x, p.rows, p.cols)
+	p.InverseParallel(x, workers)
+	Shift2D(x, p.rows, p.cols)
+}

@@ -1,0 +1,152 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/xmath"
+)
+
+func TestNewGridZeroed(t *testing.T) {
+	g := NewGrid(16)
+	if g.Norm2() != 0 {
+		t.Fatal("new grid not zeroed")
+	}
+	for c := 0; c < NrCorrelations; c++ {
+		if len(g.Data[c]) != 256 {
+			t.Fatalf("plane %d has %d pixels", c, len(g.Data[c]))
+		}
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := NewGrid(8)
+	g.Set(2, 3, 4, 1+2i)
+	if g.At(2, 3, 4) != 1+2i {
+		t.Fatal("Set/At mismatch")
+	}
+	g.Add(2, 3, 4, 1i)
+	if g.At(2, 3, 4) != 1+3i {
+		t.Fatal("Add mismatch")
+	}
+	// Neighbouring pixels must be untouched.
+	if g.At(2, 3, 5) != 0 || g.At(2, 4, 4) != 0 || g.At(1, 3, 4) != 0 {
+		t.Fatal("Set leaked into neighbours")
+	}
+}
+
+func TestGridCloneIndependent(t *testing.T) {
+	g := NewGrid(4)
+	g.Set(0, 1, 1, 5)
+	c := g.Clone()
+	c.Set(0, 1, 1, 7)
+	if g.At(0, 1, 1) != 5 {
+		t.Fatal("clone aliases original")
+	}
+	if c.At(0, 1, 1) != 7 {
+		t.Fatal("clone lost write")
+	}
+}
+
+func TestAddGrid(t *testing.T) {
+	a, b := NewGrid(4), NewGrid(4)
+	a.Set(1, 0, 0, 2)
+	b.Set(1, 0, 0, 3+1i)
+	b.Set(3, 3, 3, 1)
+	a.AddGrid(b)
+	if a.At(1, 0, 0) != 5+1i || a.At(3, 3, 3) != 1 {
+		t.Fatal("AddGrid wrong")
+	}
+}
+
+func TestGridZero(t *testing.T) {
+	g := NewGrid(4)
+	g.Set(0, 0, 0, 1)
+	g.Zero()
+	if g.Norm2() != 0 {
+		t.Fatal("Zero did not clear")
+	}
+}
+
+func TestMaxAbsDiffAndNorm(t *testing.T) {
+	a, b := NewGrid(4), NewGrid(4)
+	a.Set(0, 1, 2, 3+4i)
+	if math.Abs(a.Norm2()-25) > 1e-12 {
+		t.Fatalf("Norm2 = %g", a.Norm2())
+	}
+	if math.Abs(a.MaxAbsDiff(b)-5) > 1e-12 {
+		t.Fatalf("MaxAbsDiff = %g", a.MaxAbsDiff(b))
+	}
+}
+
+func TestSubgridPixelMatrixRoundtrip(t *testing.T) {
+	s := NewSubgrid(8, 0, 0)
+	r := rand.New(rand.NewSource(2))
+	var m xmath.Matrix2
+	for i := range m {
+		m[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	s.SetPixel(3, 5, m)
+	if got := s.Pixel(3, 5); got != m {
+		t.Fatalf("pixel roundtrip: got %v want %v", got, m)
+	}
+	// Correlation planes see the right elements.
+	if s.At(0, 3, 5) != m[0] || s.At(3, 3, 5) != m[3] {
+		t.Fatal("plane layout mismatch")
+	}
+}
+
+func TestSubgridInBounds(t *testing.T) {
+	cases := []struct {
+		x0, y0 int
+		want   bool
+	}{
+		{0, 0, true}, {8, 8, true}, {9, 0, false}, {0, -1, false}, {8, 9, false},
+	}
+	for _, c := range cases {
+		s := NewSubgrid(24, c.x0, c.y0)
+		if got := s.InBounds(32); got != c.want {
+			t.Fatalf("InBounds(%d,%d) = %v, want %v", c.x0, c.y0, got, c.want)
+		}
+	}
+}
+
+func TestSubgridClone(t *testing.T) {
+	s := NewSubgrid(4, 1, 2)
+	s.WOffset = 42
+	s.Set(2, 1, 1, 9)
+	c := s.Clone()
+	if c.X0 != 1 || c.Y0 != 2 || c.WOffset != 42 || c.At(2, 1, 1) != 9 {
+		t.Fatal("clone metadata/data mismatch")
+	}
+	c.Set(2, 1, 1, 0)
+	if s.At(2, 1, 1) != 9 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestInvalidSizesPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGrid(0) },
+		func() { NewSubgrid(0, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAddGridSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGrid(4).AddGrid(NewGrid(8))
+}

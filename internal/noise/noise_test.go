@@ -1,0 +1,125 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/uvwsim"
+)
+
+func emptySet(nb, nt, nc int) *core.VisibilitySet {
+	baselines := make([]uvwsim.Baseline, nb)
+	uvw := make([][]uvwsim.UVW, nb)
+	for b := range baselines {
+		baselines[b] = uvwsim.Baseline{P: 0, Q: b + 1}
+		uvw[b] = make([]uvwsim.UVW, nt)
+	}
+	return core.NewVisibilitySet(baselines, uvw, nc)
+}
+
+func TestGaussianStatistics(t *testing.T) {
+	vs := emptySet(50, 100, 4)
+	const sigma = 0.25
+	if err := AddGaussian(vs, sigma, 42); err != nil {
+		t.Fatal(err)
+	}
+	st := Measure(vs)
+	if st.N != 50*100*4 {
+		t.Fatalf("N = %d", st.N)
+	}
+	// Mean ~ 0 within 5 standard errors.
+	se := sigma / math.Sqrt(float64(st.N))
+	if math.Abs(real(st.Mean)) > 5*se || math.Abs(imag(st.Mean)) > 5*se {
+		t.Fatalf("mean %v too far from zero (se %g)", st.Mean, se)
+	}
+	// Std within 2%.
+	if math.Abs(st.StdDev-sigma) > 0.02*sigma {
+		t.Fatalf("std %g, want %g", st.StdDev, sigma)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	a := emptySet(3, 10, 2)
+	b := emptySet(3, 10, 2)
+	if err := AddGaussian(a, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := AddGaussian(b, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		for j := range a.Data[i] {
+			if a.Data[i][j] != b.Data[i][j] {
+				t.Fatal("same seed produced different noise")
+			}
+		}
+	}
+	c := emptySet(3, 10, 2)
+	if err := AddGaussian(c, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[0][0] == c.Data[0][0] {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestZeroSigmaNoop(t *testing.T) {
+	vs := emptySet(2, 4, 1)
+	vs.Data[0][0][0] = 3
+	if err := AddGaussian(vs, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if vs.Data[0][0][0] != 3 || vs.Data[1][2][1] != 0 {
+		t.Fatal("zero sigma changed data")
+	}
+}
+
+func TestNegativeSigmaRejected(t *testing.T) {
+	if err := AddGaussian(emptySet(1, 1, 1), -1, 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestNoiseAddsToSignal(t *testing.T) {
+	vs := emptySet(10, 10, 1)
+	for b := range vs.Data {
+		for i := range vs.Data[b] {
+			vs.Data[b][i][0] = 2
+		}
+	}
+	if err := AddGaussian(vs, 0.1, 3); err != nil {
+		t.Fatal(err)
+	}
+	st := Measure(vs)
+	if math.Abs(real(st.Mean)-2) > 0.05 {
+		t.Fatalf("signal mean lost: %v", st.Mean)
+	}
+	if st.StdDev < 0.05 || st.StdDev > 0.2 {
+		t.Fatalf("noise std %g implausible", st.StdDev)
+	}
+}
+
+func TestImageRMSExcludesSource(t *testing.T) {
+	n := 32
+	img := make([]float64, n*n)
+	for i := range img {
+		img[i] = 0.01
+	}
+	img[16*n+16] = 100 // bright source
+	withExclusion := ImageRMS(img, n, 16, 16, 2)
+	if math.Abs(withExclusion-0.01) > 1e-9 {
+		t.Fatalf("rms with exclusion = %g, want 0.01", withExclusion)
+	}
+	withoutExclusion := ImageRMS(img, n, -100, -100, 0)
+	if withoutExclusion < 1 {
+		t.Fatalf("rms without exclusion = %g, should be dominated by the source", withoutExclusion)
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	st := Measure(&core.VisibilitySet{})
+	if st.N != 0 || st.StdDev != 0 {
+		t.Fatal("empty set should measure zero")
+	}
+}

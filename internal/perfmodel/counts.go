@@ -1,0 +1,244 @@
+// Package perfmodel derives the paper's performance evaluation from
+// first principles: exact operation counts per kernel (the paper: "the
+// operation count is known exactly"), data-movement counts, and the
+// platform models of the arch package. It regenerates the runtime
+// distribution (Fig. 9), throughput (Fig. 10), the device-memory and
+// shared-memory rooflines (Fig. 11, 13), the triple-buffering pipeline
+// (Fig. 7) and the W-projection comparison (Fig. 16).
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/plan"
+)
+
+// Dataset describes the workload a model run is evaluated on, in
+// counts only (no visibility data is needed).
+type Dataset struct {
+	Name          string
+	NrBaselines   int
+	NrTimesteps   int
+	NrChannels    int
+	GridSize      int
+	SubgridSize   int
+	ATermInterval int
+
+	// NrSubgrids is the number of work items of the execution plan.
+	NrSubgrids float64
+	// NrVisibilities is the number of gridded visibilities.
+	NrVisibilities float64
+	// TimestepSubgridPairs is sum over work items of their time steps.
+	TimestepSubgridPairs float64
+}
+
+// Validate checks the dataset for consistency.
+func (d *Dataset) Validate() error {
+	if d.NrVisibilities <= 0 || d.NrSubgrids <= 0 || d.SubgridSize < 2 {
+		return fmt.Errorf("perfmodel: degenerate dataset %+v", d)
+	}
+	return nil
+}
+
+// FromPlan extracts the dataset counts from a real execution plan.
+func FromPlan(name string, p *plan.Plan, nrBaselines, nrTimesteps int) Dataset {
+	st := p.Stats()
+	return Dataset{
+		Name:          name,
+		NrBaselines:   nrBaselines,
+		NrTimesteps:   nrTimesteps,
+		NrChannels:    len(p.Frequencies),
+		GridSize:      p.GridSize,
+		SubgridSize:   p.SubgridSize,
+		ATermInterval: p.ATermUpdateInterval,
+
+		NrSubgrids:           float64(st.NrSubgrids),
+		NrVisibilities:       float64(st.NrGriddedVisibilities),
+		TimestepSubgridPairs: float64(st.NrTimestepSubgridPairs),
+	}
+}
+
+// PaperDataset returns the benchmark of Section VI-A in closed form:
+// 150 stations (11,175 baselines), 8,192 time steps, 16 channels,
+// A-terms updated every 256 steps, 24x24 subgrids on a 2048x2048 grid.
+// Subgrid counts assume the A-term update interval dominates the
+// partitioning (one subgrid per baseline per 256-step slot), which the
+// streaming planner reproduces within a few percent for this layout
+// (cmd/idgbench -experiment plan recomputes the exact numbers).
+func PaperDataset() Dataset {
+	const (
+		baselines = 11175
+		timesteps = 8192
+		channels  = 16
+		interval  = 256
+	)
+	subgrids := float64(baselines) * float64(timesteps/interval)
+	return Dataset{
+		Name:          "SKA1-low (paper Section VI-A)",
+		NrBaselines:   baselines,
+		NrTimesteps:   timesteps,
+		NrChannels:    channels,
+		GridSize:      2048,
+		SubgridSize:   24,
+		ATermInterval: interval,
+
+		NrSubgrids:           subgrids,
+		NrVisibilities:       float64(baselines) * timesteps * channels,
+		TimestepSubgridPairs: float64(baselines) * timesteps,
+	}
+}
+
+// KernelCounts holds the exact operation and data-movement counts of
+// one kernel over a dataset. Ops follow the paper's definition
+// (+, -, * each one op; sin and cos each one op); Flops excludes the
+// sincos evaluations (the unit Fig. 15 reports GFlops/W in).
+type KernelCounts struct {
+	Name        string
+	Ops         float64
+	Flops       float64
+	Sincos      float64
+	DeviceBytes float64
+	// SharedBytes is the GPU software-managed cache traffic
+	// (Fig. 13); zero for CPU-only kernels.
+	SharedBytes float64
+	// PCIe transfer volumes for the GPU path.
+	HtoDBytes, DtoHBytes float64
+	// Rho is the FMA/sincos ratio of the kernel's instruction mix
+	// (infinite for sincos-free kernels).
+	Rho float64
+}
+
+// OperationalIntensity returns ops per device-memory byte.
+func (c KernelCounts) OperationalIntensity() float64 {
+	if c.DeviceBytes == 0 {
+		return math.Inf(1)
+	}
+	return c.Ops / c.DeviceBytes
+}
+
+// SharedIntensity returns ops per shared-memory byte.
+func (c KernelCounts) SharedIntensity() float64 {
+	if c.SharedBytes == 0 {
+		return math.Inf(1)
+	}
+	return c.Ops / c.SharedBytes
+}
+
+// Sizes of the single-precision types the kernels move (the paper's
+// implementations compute in float32).
+const (
+	visBytes   = 4 * 8 // 4 correlations, complex64
+	uvwBytes   = 3 * 4 // float32 u, v, w
+	pixelBytes = 4 * 8 // 4 correlations, complex64
+	atermBytes = 2 * 4 * 8
+)
+
+// Shared-memory traffic per gridder/degridder inner iteration, in
+// bytes. These two constants are the only calibrated data-movement
+// numbers in the model (the paper measured data movement rather than
+// deriving it); they are fitted so that the shared-memory roofline
+// reproduces the measured 74% (gridder) and 55% (degridder) of peak
+// on PASCAL (Section VI-C2). The degridder moves exactly one pixel
+// (32 B) per iteration through shared memory; the gridder streams
+// visibilities, which are partially broadcast across the warp, hence
+// the lower effective traffic.
+const (
+	gridderSharedBytesPerIter   = 23.4
+	degridderSharedBytesPerIter = 32.0
+)
+
+// GridderCounts returns the exact counts of the gridder kernel
+// (Algorithm 1) over the dataset.
+func GridderCounts(d Dataset) KernelCounts {
+	sg2 := float64(d.SubgridSize * d.SubgridSize)
+	iters := d.NrVisibilities * sg2 // one sincos + 17 FMAs each
+
+	// Phase-index computation: 3 FMAs per (pixel, time step).
+	phaseFMA := 6 * d.TimestepSubgridPairs * sg2
+	// A-term sandwich (2 complex 2x2 matmuls = 96 flops) plus taper
+	// (8 real mults) per subgrid pixel.
+	corrFMA := 104 * d.NrSubgrids * sg2
+
+	flops := 34*iters + phaseFMA + corrFMA
+	sincos := 2 * iters
+	c := KernelCounts{
+		Name:        "gridder",
+		Ops:         flops + sincos,
+		Flops:       flops,
+		Sincos:      sincos,
+		SharedBytes: gridderSharedBytesPerIter * iters,
+		Rho:         (flops / 2) / iters,
+	}
+	c.DeviceBytes = d.NrVisibilities*visBytes +
+		d.TimestepSubgridPairs*uvwBytes +
+		d.NrSubgrids*sg2*(pixelBytes+atermBytes)
+	c.HtoDBytes = d.NrVisibilities*visBytes + d.TimestepSubgridPairs*uvwBytes
+	return c
+}
+
+// DegridderCounts returns the exact counts of the degridder kernel
+// (Algorithm 2).
+func DegridderCounts(d Dataset) KernelCounts {
+	sg2 := float64(d.SubgridSize * d.SubgridSize)
+	iters := d.NrVisibilities * sg2
+
+	phaseFMA := 6 * d.TimestepSubgridPairs * sg2
+	corrFMA := 104 * d.NrSubgrids * sg2
+
+	flops := 34*iters + phaseFMA + corrFMA
+	sincos := 2 * iters
+	c := KernelCounts{
+		Name:        "degridder",
+		Ops:         flops + sincos,
+		Flops:       flops,
+		Sincos:      sincos,
+		SharedBytes: degridderSharedBytesPerIter * iters,
+		Rho:         (flops / 2) / iters,
+	}
+	c.DeviceBytes = d.NrVisibilities*visBytes +
+		d.TimestepSubgridPairs*uvwBytes +
+		d.NrSubgrids*sg2*(pixelBytes+atermBytes)
+	c.DtoHBytes = d.NrVisibilities * visBytes
+	c.HtoDBytes = d.TimestepSubgridPairs * uvwBytes
+	return c
+}
+
+// SubgridFFTCounts returns the counts of one subgrid FFT pass
+// (4 correlations per subgrid, 5 n log2 n per 1-D transform).
+func SubgridFFTCounts(d Dataset) KernelCounts {
+	n := float64(d.SubgridSize)
+	perSubgrid := 4 * 10 * n * n * math.Log2(n)
+	c := KernelCounts{
+		Name:  "subgrid-fft",
+		Ops:   perSubgrid * d.NrSubgrids,
+		Flops: perSubgrid * d.NrSubgrids,
+		Rho:   math.Inf(1),
+	}
+	// Two read+write passes over the data per transform direction.
+	c.DeviceBytes = d.NrSubgrids * n * n * pixelBytes * 4
+	return c
+}
+
+// AdderCounts returns the counts of the adder: every subgrid pixel is
+// read, the grid region read and written back (atomically on GPUs).
+func AdderCounts(d Dataset) KernelCounts {
+	sg2 := float64(d.SubgridSize * d.SubgridSize)
+	return KernelCounts{
+		Name:        "adder",
+		Ops:         8 * sg2 * d.NrSubgrids, // one complex add per correlation
+		Flops:       8 * sg2 * d.NrSubgrids,
+		DeviceBytes: 3 * pixelBytes * sg2 * d.NrSubgrids,
+		Rho:         math.Inf(1),
+	}
+}
+
+// SplitterCounts returns the counts of the splitter (pure copy).
+func SplitterCounts(d Dataset) KernelCounts {
+	sg2 := float64(d.SubgridSize * d.SubgridSize)
+	return KernelCounts{
+		Name:        "splitter",
+		DeviceBytes: 2 * pixelBytes * sg2 * d.NrSubgrids,
+		Rho:         math.Inf(1),
+	}
+}

@@ -1,0 +1,221 @@
+package perfmodel
+
+import (
+	"math"
+
+	"repro/internal/arch"
+)
+
+// Bound names the resource that limits a kernel on a platform.
+type Bound string
+
+const (
+	BoundCompute      Bound = "compute"
+	BoundSharedMemory Bound = "shared-memory"
+	BoundDeviceMemory Bound = "device-memory"
+)
+
+// KernelPerf is the model's prediction for one kernel on one platform.
+type KernelPerf struct {
+	Kernel   string
+	Platform string
+	Seconds  float64
+	// OpsPerSec is the achieved throughput in the paper's ops.
+	OpsPerSec float64
+	// FractionOfPeak relates OpsPerSec to the platform peak (Fig. 11).
+	FractionOfPeak float64
+	// Bound names the limiting resource.
+	Bound Bound
+	// Intensity and SharedIntensity are the roofline x coordinates.
+	Intensity, SharedIntensity float64
+}
+
+// fftEfficiency is the fraction of FMA peak a batched small 2-D FFT
+// attains (vendor FFT libraries reach 20-30% for these sizes).
+const fftEfficiency = 0.25
+
+// Predict models one kernel on one platform: the attainable compute
+// rate follows the instruction-mix model (and, on GPUs, the
+// shared-memory roofline); the kernel then takes the larger of its
+// compute time and its device-memory time.
+func Predict(p *arch.Platform, c KernelCounts) KernelPerf {
+	out := KernelPerf{
+		Kernel:          c.Name,
+		Platform:        p.Name,
+		Intensity:       c.OperationalIntensity(),
+		SharedIntensity: c.SharedIntensity(),
+		Bound:           BoundCompute,
+	}
+	if c.Ops == 0 {
+		// Pure copy (splitter): bandwidth only.
+		out.Seconds = c.DeviceBytes / (p.MemBandwidthGBs * 1e9)
+		out.Bound = BoundDeviceMemory
+		return out
+	}
+	// Attainable compute rate for this instruction mix.
+	var rate float64
+	if math.IsInf(c.Rho, 1) {
+		rate = p.PeakOpsPerSec()
+		if c.Name == "subgrid-fft" {
+			rate *= fftEfficiency
+		}
+	} else {
+		rate = p.MixOpsPerSec(c.Rho)
+	}
+	// Shared-memory roofline (GPU kernels staging via the
+	// software-managed cache).
+	if c.SharedBytes > 0 && p.SharedBandwidthGBs > 0 {
+		sharedRate := p.SharedBandwidthGBs * 1e9 * c.SharedIntensity()
+		if sharedRate < rate {
+			rate = sharedRate
+			out.Bound = BoundSharedMemory
+		}
+	}
+	tCompute := c.Ops / rate
+	tDevice := c.DeviceBytes / (p.MemBandwidthGBs * 1e9)
+	out.Seconds = tCompute
+	if tDevice > tCompute {
+		out.Seconds = tDevice
+		out.Bound = BoundDeviceMemory
+	}
+	out.OpsPerSec = c.Ops / out.Seconds
+	out.FractionOfPeak = out.OpsPerSec / p.PeakOpsPerSec()
+	return out
+}
+
+// CycleBreakdown is the modelled runtime distribution of one full
+// imaging cycle (Fig. 9): gridding (gridder + subgrid FFT + adder)
+// plus degridding (splitter + subgrid FFT + degridder).
+type CycleBreakdown struct {
+	Platform   string
+	Gridder    KernelPerf
+	Degridder  KernelPerf
+	SubgridFFT KernelPerf // both FFT passes combined
+	Adder      KernelPerf
+	Splitter   KernelPerf
+	// PCIeSeconds is the total transfer time; with triple buffering
+	// it is overlapped with the kernels and only exposed if larger.
+	PCIeSeconds float64
+}
+
+// Total returns the modelled wall-clock of one imaging cycle. On GPU
+// platforms the PCIe transfers overlap with kernel execution
+// (Section V-C-a), so only the excess over the compute time counts.
+func (c *CycleBreakdown) Total() float64 {
+	kernels := c.Gridder.Seconds + c.Degridder.Seconds + c.SubgridFFT.Seconds +
+		c.Adder.Seconds + c.Splitter.Seconds
+	if c.PCIeSeconds > kernels {
+		return c.PCIeSeconds
+	}
+	return kernels
+}
+
+// GriddingSeconds returns the gridding-direction time (for Fig. 10).
+func (c *CycleBreakdown) GriddingSeconds() float64 {
+	return c.Gridder.Seconds + c.SubgridFFT.Seconds/2 + c.Adder.Seconds
+}
+
+// DegriddingSeconds returns the degridding-direction time.
+func (c *CycleBreakdown) DegriddingSeconds() float64 {
+	return c.Degridder.Seconds + c.SubgridFFT.Seconds/2 + c.Splitter.Seconds
+}
+
+// FractionInGridderDegridder returns the share of the cycle spent in
+// the two direct kernels; the paper reports more than 93% on all
+// platforms (Section VI-B).
+func (c *CycleBreakdown) FractionInGridderDegridder() float64 {
+	return (c.Gridder.Seconds + c.Degridder.Seconds) / c.Total()
+}
+
+// ImagingCycle models one full imaging cycle of the dataset on a
+// platform.
+func ImagingCycle(p *arch.Platform, d Dataset) CycleBreakdown {
+	gc := GridderCounts(d)
+	dc := DegridderCounts(d)
+	fc := SubgridFFTCounts(d)
+	// Both directions transform every subgrid once.
+	fc.Ops *= 2
+	fc.Flops *= 2
+	fc.DeviceBytes *= 2
+
+	out := CycleBreakdown{
+		Platform:   p.Name,
+		Gridder:    Predict(p, gc),
+		Degridder:  Predict(p, dc),
+		SubgridFFT: Predict(p, fc),
+		Adder:      Predict(p, AdderCounts(d)),
+		Splitter:   Predict(p, SplitterCounts(d)),
+	}
+	if p.PCIeGBs > 0 {
+		out.PCIeSeconds = (gc.HtoDBytes + gc.DtoHBytes + dc.HtoDBytes + dc.DtoHBytes) /
+			(p.PCIeGBs * 1e9)
+	}
+	return out
+}
+
+// ThroughputMVisPerSec returns the gridding and degridding throughput
+// in MVisibilities/s (Fig. 10).
+func ThroughputMVisPerSec(p *arch.Platform, d Dataset) (gridding, degridding float64) {
+	c := ImagingCycle(p, d)
+	gridding = d.NrVisibilities / c.GriddingSeconds() / 1e6
+	degridding = d.NrVisibilities / c.DegriddingSeconds() / 1e6
+	return gridding, degridding
+}
+
+// RooflinePoint is one marker of Fig. 11 / Fig. 13.
+type RooflinePoint struct {
+	Platform, Kernel string
+	// Intensity is ops per byte (device or shared memory).
+	Intensity float64
+	// TOpsPerSec is the achieved throughput.
+	TOpsPerSec float64
+	// CeilingTOps is the mix-adjusted compute ceiling (the dashed
+	// line of Fig. 11).
+	CeilingTOps float64
+	// PeakTOps is the hardware peak.
+	PeakTOps float64
+}
+
+// DeviceRoofline returns the Fig. 11 points for the dataset: gridder
+// and degridder on every platform, with operational intensity w.r.t.
+// device memory.
+func DeviceRoofline(d Dataset) []RooflinePoint {
+	var out []RooflinePoint
+	for _, p := range arch.Platforms() {
+		for _, c := range []KernelCounts{GridderCounts(d), DegridderCounts(d)} {
+			perf := Predict(p, c)
+			out = append(out, RooflinePoint{
+				Platform:    p.Name,
+				Kernel:      c.Name,
+				Intensity:   c.OperationalIntensity(),
+				TOpsPerSec:  perf.OpsPerSec / 1e12,
+				CeilingTOps: p.MixOpsPerSec(c.Rho) / 1e12,
+				PeakTOps:    p.PeakTFlops,
+			})
+		}
+	}
+	return out
+}
+
+// SharedRoofline returns the Fig. 13 points (GPU platforms only),
+// with intensity w.r.t. shared memory.
+func SharedRoofline(d Dataset) []RooflinePoint {
+	var out []RooflinePoint
+	for _, p := range arch.Platforms() {
+		if p.SharedBandwidthGBs == 0 {
+			continue
+		}
+		for _, c := range []KernelCounts{GridderCounts(d), DegridderCounts(d)} {
+			perf := Predict(p, c)
+			out = append(out, RooflinePoint{
+				Platform:    p.Name,
+				Kernel:      c.Name,
+				Intensity:   c.SharedIntensity(),
+				TOpsPerSec:  perf.OpsPerSec / 1e12,
+				CeilingTOps: p.SharedBandwidthGBs * 1e9 * c.SharedIntensity() / 1e12,
+				PeakTOps:    p.PeakTFlops,
+			})
+		}
+	}
+	return out
+}

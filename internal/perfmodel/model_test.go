@@ -1,0 +1,242 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/layout"
+	"repro/internal/plan"
+	"repro/internal/uvwsim"
+)
+
+func TestPaperDatasetCounts(t *testing.T) {
+	d := PaperDataset()
+	if d.NrBaselines != 11175 {
+		t.Fatalf("baselines = %d, want 11175", d.NrBaselines)
+	}
+	if want := 11175.0 * 8192 * 16; d.NrVisibilities != want {
+		t.Fatalf("visibilities = %g, want %g", d.NrVisibilities, want)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridderCountsScale(t *testing.T) {
+	d := PaperDataset()
+	c := GridderCounts(d)
+	// The dominant term: 36 ops per visibility-pixel pair.
+	pairs := d.NrVisibilities * float64(d.SubgridSize*d.SubgridSize)
+	if c.Ops < 36*pairs || c.Ops > 40*pairs {
+		t.Fatalf("gridder ops %.3g outside [36, 40] per pair", c.Ops/pairs)
+	}
+	// Rho is close to (but slightly above) 17: the phase-index and
+	// correction FMAs add a little.
+	if c.Rho < 17 || c.Rho > 18 {
+		t.Fatalf("gridder rho = %.2f, want ~17", c.Rho)
+	}
+	// Heavily compute bound: hundreds of ops per device byte
+	// (Section VI-B: "on all architectures, both kernels are compute
+	// bound").
+	if oi := c.OperationalIntensity(); oi < 100 {
+		t.Fatalf("gridder OI = %.1f ops/byte, expected compute-bound (>100)", oi)
+	}
+	// Shared-memory intensity is around 1.5 ops/byte.
+	if si := c.SharedIntensity(); si < 1 || si > 2 {
+		t.Fatalf("gridder shared intensity = %.2f", si)
+	}
+}
+
+// TestPascalFractionsMatchPaper pins the headline result of
+// Section VI-C2: on PASCAL the gridder achieves 74% and the degridder
+// 55% of the theoretical peak, both limited by shared memory.
+func TestPascalFractionsMatchPaper(t *testing.T) {
+	d := PaperDataset()
+	p := arch.Pascal()
+	g := Predict(p, GridderCounts(d))
+	dg := Predict(p, DegridderCounts(d))
+	if math.Abs(g.FractionOfPeak-0.74) > 0.03 {
+		t.Fatalf("Pascal gridder at %.1f%% of peak, paper reports 74%%", 100*g.FractionOfPeak)
+	}
+	if math.Abs(dg.FractionOfPeak-0.55) > 0.03 {
+		t.Fatalf("Pascal degridder at %.1f%% of peak, paper reports 55%%", 100*dg.FractionOfPeak)
+	}
+	if g.Bound != BoundSharedMemory || dg.Bound != BoundSharedMemory {
+		t.Fatalf("Pascal kernels should be shared-memory bound, got %s/%s", g.Bound, dg.Bound)
+	}
+}
+
+// TestALUPlatformsSincosLimited: Haswell and Fiji are limited by the
+// sincos evaluations ("we cannot use the full computational capacity
+// of HASWELL and FIJI without algorithmic changes").
+func TestALUPlatformsSincosLimited(t *testing.T) {
+	d := PaperDataset()
+	for _, tc := range []struct {
+		p      *arch.Platform
+		lo, hi float64
+	}{
+		{arch.Haswell(), 0.15, 0.30},
+		{arch.Fiji(), 0.40, 0.60},
+	} {
+		g := Predict(tc.p, GridderCounts(d))
+		if g.FractionOfPeak < tc.lo || g.FractionOfPeak > tc.hi {
+			t.Fatalf("%s gridder at %.1f%% of peak, want within [%.0f%%, %.0f%%]",
+				tc.p.Name, 100*g.FractionOfPeak, 100*tc.lo, 100*tc.hi)
+		}
+		if g.Bound != BoundCompute {
+			t.Fatalf("%s gridder should be compute bound, got %s", tc.p.Name, g.Bound)
+		}
+		// But close to the sincos-adjusted ceiling (Fig. 11 dashed
+		// lines): achieved ~= MixOpsPerSec(rho).
+		ceiling := tc.p.MixOpsPerSec(GridderCounts(d).Rho)
+		if ratio := g.OpsPerSec / ceiling; ratio < 0.95 {
+			t.Fatalf("%s gridder at %.2f of its mix ceiling, want ~1", tc.p.Name, ratio)
+		}
+	}
+}
+
+// TestGPUsOrderOfMagnitudeFaster: "Both GPUs complete the task almost
+// an order of magnitude faster than HASWELL" (Section VI-B).
+func TestGPUsOrderOfMagnitudeFaster(t *testing.T) {
+	d := PaperDataset()
+	cpuCycle := ImagingCycle(arch.Haswell(), d)
+	cpu := cpuCycle.Total()
+	for _, p := range []*arch.Platform{arch.Fiji(), arch.Pascal()} {
+		gpuCycle := ImagingCycle(p, d)
+		gpu := gpuCycle.Total()
+		if ratio := cpu / gpu; ratio < 7 {
+			t.Fatalf("%s only %.1fx faster than HASWELL, want ~10x", p.Name, ratio)
+		}
+	}
+}
+
+// TestRuntimeDominatedByKernels: "runtime is dominated by the gridder
+// and degridder kernels (more than 93%)" (Section VI-B).
+func TestRuntimeDominatedByKernels(t *testing.T) {
+	d := PaperDataset()
+	for _, p := range arch.Platforms() {
+		c := ImagingCycle(p, d)
+		if f := c.FractionInGridderDegridder(); f < 0.93 {
+			t.Fatalf("%s: gridder+degridder only %.1f%% of the cycle", p.Name, 100*f)
+		}
+	}
+}
+
+// TestThroughputOrdering checks the Fig. 10 ordering: PASCAL > FIJI >>
+// HASWELL, with PASCAL in the hundreds of MVis/s.
+func TestThroughputOrdering(t *testing.T) {
+	d := PaperDataset()
+	gh, _ := ThroughputMVisPerSec(arch.Haswell(), d)
+	gf, _ := ThroughputMVisPerSec(arch.Fiji(), d)
+	gp, dp := ThroughputMVisPerSec(arch.Pascal(), d)
+	if !(gp > gf && gf > gh) {
+		t.Fatalf("throughput ordering violated: %g, %g, %g", gh, gf, gp)
+	}
+	if gp < 250 || gp > 450 {
+		t.Fatalf("Pascal gridding throughput %.0f MVis/s implausible", gp)
+	}
+	if dp >= gp {
+		t.Fatal("degridding should be slower than gridding on Pascal (shared-memory bound)")
+	}
+}
+
+// TestPCIeHiddenByTripleBuffering: on the GPUs the transfers take less
+// time than the kernels, so triple buffering hides them completely.
+func TestPCIeHiddenByTripleBuffering(t *testing.T) {
+	d := PaperDataset()
+	for _, p := range []*arch.Platform{arch.Fiji(), arch.Pascal()} {
+		c := ImagingCycle(p, d)
+		kernels := c.Total()
+		if c.PCIeSeconds >= kernels {
+			t.Fatalf("%s: PCIe %.1fs exceeds kernels %.1fs; transfers not hidden", p.Name, c.PCIeSeconds, kernels)
+		}
+	}
+}
+
+func TestRooflinePoints(t *testing.T) {
+	d := PaperDataset()
+	dev := DeviceRoofline(d)
+	if len(dev) != 6 { // 3 platforms x 2 kernels
+		t.Fatalf("device roofline has %d points", len(dev))
+	}
+	for _, pt := range dev {
+		if pt.TOpsPerSec <= 0 || pt.TOpsPerSec > pt.PeakTOps+1e-9 {
+			t.Fatalf("%s/%s: achieved %.2f TOps vs peak %.2f", pt.Platform, pt.Kernel, pt.TOpsPerSec, pt.PeakTOps)
+		}
+		if pt.CeilingTOps > pt.PeakTOps+1e-9 {
+			t.Fatalf("%s/%s: ceiling above peak", pt.Platform, pt.Kernel)
+		}
+	}
+	sh := SharedRoofline(d)
+	if len(sh) != 4 { // 2 GPUs x 2 kernels
+		t.Fatalf("shared roofline has %d points", len(sh))
+	}
+	// The GPU kernels sit close to (<= and within 35% of) their
+	// shared-memory ceilings (Fig. 13: "both kernels are close to the
+	// shared memory bandwidth bound"; Fiji is ALU-limited slightly
+	// below it).
+	for _, pt := range sh {
+		if pt.TOpsPerSec > pt.CeilingTOps*1.0001 {
+			t.Fatalf("%s/%s exceeds shared ceiling", pt.Platform, pt.Kernel)
+		}
+		if pt.TOpsPerSec < 0.6*pt.CeilingTOps {
+			t.Fatalf("%s/%s far from shared ceiling: %.2f of %.2f TOps",
+				pt.Platform, pt.Kernel, pt.TOpsPerSec, pt.CeilingTOps)
+		}
+	}
+}
+
+// TestFromPlanMatchesStats: dataset extraction from a real plan.
+func TestFromPlanMatchesStats(t *testing.T) {
+	cfg := layout.SKA1LowConfig()
+	cfg.NrStations = 10
+	sim := uvwsim.New(layout.Generate(cfg), uvwsim.DefaultOptions())
+	tracks := sim.AllTracks(128)
+	freqs := make([]float64, 8)
+	for i := range freqs {
+		freqs[i] = 150e6 + float64(i)*200e3
+	}
+	maxUV := sim.MaxUV(128) * freqs[7] / uvwsim.SpeedOfLight
+	pcfg := plan.Config{
+		GridSize: 512, SubgridSize: 24,
+		ImageSize: float64(512/2-40) / maxUV, Frequencies: freqs,
+		KernelSupport: 4, MaxTimestepsPerSubgrid: 128, ATermUpdateInterval: 64,
+	}
+	p, err := plan.New(pcfg, tracks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := FromPlan("test", p, len(tracks), 128)
+	st := p.Stats()
+	if d.NrVisibilities != float64(st.NrGriddedVisibilities) ||
+		d.NrSubgrids != float64(st.NrSubgrids) {
+		t.Fatal("FromPlan counts mismatch")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The model runs on plan-derived datasets too.
+	c := ImagingCycle(arch.Pascal(), d)
+	if c.Total() <= 0 {
+		t.Fatal("degenerate modelled cycle")
+	}
+}
+
+func TestPredictSplitterBandwidthBound(t *testing.T) {
+	d := PaperDataset()
+	s := Predict(arch.Pascal(), SplitterCounts(d))
+	if s.Bound != BoundDeviceMemory {
+		t.Fatalf("splitter bound = %s, want device-memory", s.Bound)
+	}
+	if s.Seconds <= 0 {
+		t.Fatal("splitter time must be positive")
+	}
+}
+
+func TestDatasetValidate(t *testing.T) {
+	bad := Dataset{}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty dataset should fail validation")
+	}
+}

@@ -1,0 +1,88 @@
+package perfmodel
+
+import "fmt"
+
+// This file models the asynchronous I/O scheme of Section V-C-a /
+// Fig. 7: three host threads issue (HtoD copy, kernel, DtoH copy)
+// triples onto three CUDA streams, with events enforcing that a
+// buffer is only overwritten once its kernel consumed it
+// (triple buffering). The discrete-event simulation below reproduces
+// the timeline of Fig. 7 for arbitrary stage durations.
+
+// StreamEvent is one operation in the simulated timeline.
+type StreamEvent struct {
+	Group      int     // work group index
+	Stage      string  // "HtoD", "kernel", "DtoH"
+	Start, End float64 // seconds
+}
+
+// PipelineResult is the outcome of a pipeline simulation.
+type PipelineResult struct {
+	Events   []StreamEvent
+	Makespan float64
+	// KernelBusy is the fraction of the makespan during which the
+	// kernel stream is busy — triple buffering aims to keep this
+	// near 1 ("prevent the GPU from being idle during data
+	// transfers").
+	KernelBusy float64
+}
+
+// SimulateTripleBuffer simulates nGroups work groups with the given
+// per-group stage durations through three streams (one per stage
+// kind) and nBuffers device buffer sets. nBuffers = 3 is the paper's
+// configuration; nBuffers = 1 degenerates to fully serial execution.
+func SimulateTripleBuffer(nGroups, nBuffers int, htod, kernel, dtoh float64) PipelineResult {
+	if nGroups < 1 || nBuffers < 1 {
+		panic(fmt.Sprintf("perfmodel: invalid pipeline shape %d groups, %d buffers", nGroups, nBuffers))
+	}
+	if htod < 0 || kernel < 0 || dtoh < 0 {
+		panic("perfmodel: negative stage duration")
+	}
+	var res PipelineResult
+	// Per-stream availability times.
+	var tHtoD, tKernel, tDtoH float64
+	// bufferFree[i] is when buffer set i%nBuffers can be reused
+	// (its previous DtoH finished).
+	bufferFree := make([]float64, nBuffers)
+	var kernelBusy float64
+	for g := 0; g < nGroups; g++ {
+		buf := g % nBuffers
+		// HtoD may start when the copy stream is free and the buffer
+		// has been drained.
+		s := maxf(tHtoD, bufferFree[buf])
+		e := s + htod
+		tHtoD = e
+		res.Events = append(res.Events, StreamEvent{g, "HtoD", s, e})
+		// Kernel starts when its stream is free and input is present.
+		s = maxf(tKernel, e)
+		e = s + kernel
+		tKernel = e
+		kernelBusy += kernel
+		res.Events = append(res.Events, StreamEvent{g, "kernel", s, e})
+		// DtoH starts when the output stream is free and the kernel
+		// finished.
+		s = maxf(tDtoH, e)
+		e = s + dtoh
+		tDtoH = e
+		bufferFree[buf] = e
+		res.Events = append(res.Events, StreamEvent{g, "DtoH", s, e})
+	}
+	res.Makespan = maxf(tHtoD, maxf(tKernel, tDtoH))
+	if res.Makespan > 0 {
+		res.KernelBusy = kernelBusy / res.Makespan
+	}
+	return res
+}
+
+// SerialTime returns the non-overlapped execution time of the same
+// workload (the baseline triple buffering is compared against).
+func SerialTime(nGroups int, htod, kernel, dtoh float64) float64 {
+	return float64(nGroups) * (htod + kernel + dtoh)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/uvwsim"
+)
+
+// Stats summarizes a plan with the quantities the performance model
+// consumes: the paper derives its exact operation counts from these.
+type Stats struct {
+	// NrSubgrids is the number of work items (subgrids).
+	NrSubgrids int
+	// NrGriddedVisibilities is the number of visibilities covered.
+	NrGriddedVisibilities int64
+	// NrDroppedVisibilities counts visibilities off the grid.
+	NrDroppedVisibilities int64
+	// NrTimestepSubgridPairs is sum over items of NrTimesteps; the
+	// per-pixel phase-index work scales with it.
+	NrTimestepSubgridPairs int64
+	// NrVisibilityPixelPairs is sum over items of
+	// NrTimesteps*NrChannels*SubgridSize^2: each pair costs one
+	// sincos plus ~17 real FMAs in Algorithms 1 and 2.
+	NrVisibilityPixelPairs int64
+	// AvgTimestepsPerSubgrid is the mean T~ per work item.
+	AvgTimestepsPerSubgrid float64
+	// MaxTimestepsPerItem is the largest T~ in the plan.
+	MaxTimestepsPerItem int
+}
+
+// Stats computes summary statistics of the plan.
+func (p *Plan) Stats() Stats {
+	var s Stats
+	s.NrSubgrids = len(p.Items)
+	s.NrDroppedVisibilities = int64(p.DroppedVisibilities)
+	sg2 := int64(p.SubgridSize) * int64(p.SubgridSize)
+	for i := range p.Items {
+		it := &p.Items[i]
+		s.NrGriddedVisibilities += int64(it.NrVisibilities())
+		s.NrTimestepSubgridPairs += int64(it.NrTimesteps)
+		s.NrVisibilityPixelPairs += int64(it.NrVisibilities()) * sg2
+		if it.NrTimesteps > s.MaxTimestepsPerItem {
+			s.MaxTimestepsPerItem = it.NrTimesteps
+		}
+	}
+	if s.NrSubgrids > 0 {
+		s.AvgTimestepsPerSubgrid = float64(s.NrTimestepSubgridPairs) / float64(s.NrSubgrids)
+	}
+	return s
+}
+
+// Validate checks the plan invariants against the tracks it was built
+// from: every work item's visibilities (plus kernel support) must lie
+// inside its subgrid, subgrids must lie inside the grid, time blocks
+// must not overlap, A-term slots must be uniform within an item, and
+// every non-dropped visibility must be covered exactly once.
+// It returns the number of covered visibilities.
+func (p *Plan) ValidateCoverage(tracks [][]uvwsim.UVW) (int64, error) {
+	covered := make(map[[3]int]bool)
+	n, sg := p.GridSize, p.SubgridSize
+	sup := float64(p.KernelSupport)
+	for idx := range p.Items {
+		it := &p.Items[idx]
+		if it.X0 < 0 || it.Y0 < 0 || it.X0+sg > n || it.Y0+sg > n {
+			return 0, fmt.Errorf("plan: item %d subgrid (%d,%d) outside grid", idx, it.X0, it.Y0)
+		}
+		if p.MaxTimestepsPerSubgrid > 0 && it.NrTimesteps > p.MaxTimestepsPerSubgrid {
+			return 0, fmt.Errorf("plan: item %d exceeds Tmax: %d", idx, it.NrTimesteps)
+		}
+		for t := it.TimeStart; t < it.TimeStart+it.NrTimesteps; t++ {
+			if got := p.aTermSlot(t); got != it.ATermSlot {
+				return 0, fmt.Errorf("plan: item %d mixes A-term slots (%d vs %d)", idx, got, it.ATermSlot)
+			}
+			coord := tracks[it.Baseline][t]
+			for c := it.Channel0; c < it.Channel0+it.NrChannels; c++ {
+				key := [3]int{it.Baseline, t, c}
+				if covered[key] {
+					return 0, fmt.Errorf("plan: visibility (%d,%d,%d) covered twice", it.Baseline, t, c)
+				}
+				covered[key] = true
+				u, v := p.uvPixel(coord, p.Frequencies[c])
+				ui := u + float64(n/2)
+				vi := v + float64(n/2)
+				if ui < float64(it.X0)+sup || ui > float64(it.X0+sg-1)-sup ||
+					vi < float64(it.Y0)+sup || vi > float64(it.Y0+sg-1)-sup {
+					return 0, fmt.Errorf("plan: visibility (%d,%d,%d) at (%.1f,%.1f) outside subgrid (%d,%d)",
+						it.Baseline, t, c, ui, vi, it.X0, it.Y0)
+				}
+				if p.WStepLambda > 0 {
+					w := coord.W * p.Frequencies[c] / uvwsim.SpeedOfLight
+					if math.Abs(w-it.WOffset) > p.WStepLambda {
+						return 0, fmt.Errorf("plan: visibility (%d,%d,%d) w=%.1f too far from plane %.1f",
+							it.Baseline, t, c, w, it.WOffset)
+					}
+				}
+			}
+		}
+	}
+	want := int64(len(tracks))*int64(len(tracks[0]))*int64(len(p.Frequencies)) - int64(p.DroppedVisibilities)
+	if int64(len(covered)) != want {
+		return 0, fmt.Errorf("plan: covered %d visibilities, want %d", len(covered), want)
+	}
+	return int64(len(covered)), nil
+}

@@ -1,0 +1,73 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/uvwsim"
+)
+
+func TestStreamingMatchesBatch(t *testing.T) {
+	tracks, sim := testTracks(t, 12, 256)
+	cfg := testConfig(imageSizeFor(sim, 256, 512, 151.4e6))
+
+	batch, err := New(cfg, tracks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := NewStreaming(cfg, len(tracks), 256, func(b int, buf []uvwsim.UVW) []uvwsim.UVW {
+		copy(buf, tracks[b])
+		return buf[:len(tracks[b])]
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed.Items) != len(batch.Items) {
+		t.Fatalf("streamed %d items, batch %d", len(streamed.Items), len(batch.Items))
+	}
+	for i := range batch.Items {
+		if batch.Items[i] != streamed.Items[i] {
+			t.Fatalf("item %d differs: %+v vs %+v", i, batch.Items[i], streamed.Items[i])
+		}
+	}
+	if streamed.DroppedVisibilities != batch.DroppedVisibilities {
+		t.Fatal("dropped counts differ")
+	}
+}
+
+func TestStreamingFromSimulatorDirectly(t *testing.T) {
+	cfg := layout.SKA1LowConfig()
+	cfg.NrStations = 16
+	sim := uvwsim.New(layout.Generate(cfg), uvwsim.DefaultOptions())
+	nt := 512
+	maxUV := sim.MaxUV(nt) * 151.4e6 / uvwsim.SpeedOfLight
+	pcfg := testConfig(float64(512/2-40) / maxUV)
+	baselines := sim.Baselines()
+	p, err := NewStreaming(pcfg, len(baselines), nt, func(b int, buf []uvwsim.UVW) []uvwsim.UVW {
+		return sim.BaselineTrack(baselines[b], 0, nt, buf)
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-validate coverage against freshly generated tracks.
+	tracks := sim.AllTracks(nt)
+	if _, err := p.ValidateCoverage(tracks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingValidation(t *testing.T) {
+	cfg := testConfig(0.05)
+	gen := func(b int, buf []uvwsim.UVW) []uvwsim.UVW { return buf[:0] }
+	if _, err := NewStreaming(cfg, 0, 10, gen, 1); err == nil {
+		t.Fatal("expected error for zero baselines")
+	}
+	if _, err := NewStreaming(cfg, 10, 0, gen, 1); err == nil {
+		t.Fatal("expected error for zero timesteps")
+	}
+	bad := cfg
+	bad.GridSize = 0
+	if _, err := NewStreaming(bad, 10, 10, gen, 1); err == nil {
+		t.Fatal("expected config error")
+	}
+}

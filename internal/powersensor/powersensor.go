@@ -1,0 +1,144 @@
+// Package powersensor simulates the PowerSensor tool of reference
+// [31] (Romein & Veenboer): a device that samples the power draw of a
+// full PCI-E device at high time resolution, with markers that let
+// the analyst attribute energy to individual compute kernels — the
+// instrument behind Fig. 14 and Fig. 15. The simulation integrates a
+// platform's modelled power state over a virtual timeline.
+package powersensor
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sample is one power reading.
+type Sample struct {
+	Seconds float64
+	Watts   float64
+}
+
+// Marker labels a time span of the capture.
+type Marker struct {
+	Label      string
+	Start, End float64
+}
+
+// Sensor accumulates a virtual capture. The zero value is not usable;
+// construct with New.
+type Sensor struct {
+	resolution float64
+	idleWatts  float64
+
+	now     float64
+	samples []Sample
+	markers []Marker
+	open    map[string]float64
+}
+
+// New creates a sensor sampling at the given resolution (seconds per
+// sample) with the device's idle power.
+func New(resolution, idleWatts float64) (*Sensor, error) {
+	if resolution <= 0 {
+		return nil, fmt.Errorf("powersensor: resolution %g must be positive", resolution)
+	}
+	if idleWatts < 0 {
+		return nil, fmt.Errorf("powersensor: negative idle power %g", idleWatts)
+	}
+	return &Sensor{
+		resolution: resolution,
+		idleWatts:  idleWatts,
+		open:       make(map[string]float64),
+	}, nil
+}
+
+// Now returns the current virtual time.
+func (s *Sensor) Now() float64 { return s.now }
+
+// Run advances the timeline by duration seconds at the given power
+// draw, recording samples.
+func (s *Sensor) Run(duration, watts float64) error {
+	if duration < 0 || watts < 0 {
+		return fmt.Errorf("powersensor: negative duration or power")
+	}
+	end := s.now + duration
+	for t := s.now; t < end; t += s.resolution {
+		s.samples = append(s.samples, Sample{Seconds: t, Watts: watts})
+	}
+	s.now = end
+	return nil
+}
+
+// Idle advances the timeline at the idle power.
+func (s *Sensor) Idle(duration float64) error {
+	return s.Run(duration, s.idleWatts)
+}
+
+// Mark opens a labelled region at the current time (like the real
+// PowerSensor's marker writes into the capture stream).
+func (s *Sensor) Mark(label string) error {
+	if _, ok := s.open[label]; ok {
+		return fmt.Errorf("powersensor: marker %q already open", label)
+	}
+	s.open[label] = s.now
+	return nil
+}
+
+// Unmark closes a labelled region.
+func (s *Sensor) Unmark(label string) error {
+	start, ok := s.open[label]
+	if !ok {
+		return fmt.Errorf("powersensor: marker %q not open", label)
+	}
+	delete(s.open, label)
+	s.markers = append(s.markers, Marker{Label: label, Start: start, End: s.now})
+	return nil
+}
+
+// Samples returns the capture.
+func (s *Sensor) Samples() []Sample { return s.samples }
+
+// Markers returns the closed marker regions, ordered by start time.
+func (s *Sensor) Markers() []Marker {
+	out := append([]Marker(nil), s.markers...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// TotalJoules integrates the whole capture.
+func (s *Sensor) TotalJoules() float64 {
+	var e float64
+	for _, smp := range s.samples {
+		e += smp.Watts * s.resolution
+	}
+	return e
+}
+
+// MarkerJoules integrates the capture within a marker's span; this is
+// how per-kernel energy (Fig. 15) is extracted from the trace.
+func (s *Sensor) MarkerJoules(label string) (float64, error) {
+	var found bool
+	var e float64
+	for _, m := range s.markers {
+		if m.Label != label {
+			continue
+		}
+		found = true
+		for _, smp := range s.samples {
+			if smp.Seconds >= m.Start && smp.Seconds < m.End {
+				e += smp.Watts * s.resolution
+			}
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("powersensor: no closed marker %q", label)
+	}
+	return e, nil
+}
+
+// MeanWatts returns the average power over the capture.
+func (s *Sensor) MeanWatts() float64 {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.TotalJoules() / (float64(len(s.samples)) * s.resolution)
+}

@@ -1,0 +1,156 @@
+package powersensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/perfmodel"
+)
+
+func newSensor(t *testing.T) *Sensor {
+	t.Helper()
+	s, err := New(1e-3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := New(0, 10); err == nil {
+		t.Fatal("zero resolution accepted")
+	}
+	if _, err := New(1e-3, -1); err == nil {
+		t.Fatal("negative idle power accepted")
+	}
+}
+
+func TestRunIntegratesEnergy(t *testing.T) {
+	s := newSensor(t)
+	if err := s.Run(2.0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if e := s.TotalJoules(); math.Abs(e-200) > 0.2 {
+		t.Fatalf("energy %.2f J, want 200", e)
+	}
+	if math.Abs(s.Now()-2.0) > 1e-9 {
+		t.Fatalf("clock at %g, want 2.0", s.Now())
+	}
+	if w := s.MeanWatts(); math.Abs(w-100) > 1e-9 {
+		t.Fatalf("mean power %.2f W", w)
+	}
+}
+
+func TestIdleUsesIdlePower(t *testing.T) {
+	s := newSensor(t)
+	if err := s.Idle(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if e := s.TotalJoules(); math.Abs(e-30) > 0.1 {
+		t.Fatalf("idle energy %.2f J, want 30", e)
+	}
+}
+
+func TestMarkersAttributeEnergy(t *testing.T) {
+	s := newSensor(t)
+	must(t, s.Idle(0.5))
+	must(t, s.Mark("gridder"))
+	must(t, s.Run(1.0, 200))
+	must(t, s.Unmark("gridder"))
+	must(t, s.Idle(0.25))
+	must(t, s.Mark("degridder"))
+	must(t, s.Run(2.0, 150))
+	must(t, s.Unmark("degridder"))
+
+	g, err := s.MarkerJoules("gridder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-200) > 0.5 {
+		t.Fatalf("gridder energy %.1f J, want 200", g)
+	}
+	d, err := s.MarkerJoules("degridder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-300) > 0.5 {
+		t.Fatalf("degridder energy %.1f J, want 300", d)
+	}
+	// Markers ordered by start.
+	ms := s.Markers()
+	if len(ms) != 2 || ms[0].Label != "gridder" || ms[1].Label != "degridder" {
+		t.Fatalf("markers %v", ms)
+	}
+}
+
+func TestMarkerErrors(t *testing.T) {
+	s := newSensor(t)
+	if err := s.Unmark("nope"); err == nil {
+		t.Fatal("unmark of unopened marker accepted")
+	}
+	must(t, s.Mark("a"))
+	if err := s.Mark("a"); err == nil {
+		t.Fatal("double mark accepted")
+	}
+	if _, err := s.MarkerJoules("a"); err == nil {
+		t.Fatal("open marker should not integrate")
+	}
+}
+
+func TestNegativeRunRejected(t *testing.T) {
+	s := newSensor(t)
+	if err := s.Run(-1, 10); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	if err := s.Run(1, -10); err == nil {
+		t.Fatal("negative power accepted")
+	}
+}
+
+// TestCaptureOfModelledCycle replays the modelled PASCAL imaging
+// cycle through the sensor and checks that per-kernel marker energy
+// matches the energy model within sampling error.
+func TestCaptureOfModelledCycle(t *testing.T) {
+	p := arch.Pascal()
+	d := perfmodel.PaperDataset()
+	b := perfmodel.ImagingCycle(p, d)
+
+	s, err := New(1e-3, 0.15*p.KernelPowerWatts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(label string, dur float64) {
+		must(t, s.Mark(label))
+		must(t, s.Run(dur, p.KernelPowerWatts))
+		must(t, s.Unmark(label))
+	}
+	run("gridder", b.Gridder.Seconds)
+	run("fft", b.SubgridFFT.Seconds)
+	run("adder", b.Adder.Seconds)
+	must(t, s.Idle(0.1))
+	run("splitter", b.Splitter.Seconds)
+	run("degridder", b.Degridder.Seconds)
+
+	g, err := s.MarkerJoules("gridder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.KernelPowerWatts * b.Gridder.Seconds
+	if math.Abs(g-want) > 0.01*want {
+		t.Fatalf("gridder marker %.1f J, model %.1f J", g, want)
+	}
+	// Per-kernel GFlops/W from the trace matches Fig. 15 (~32).
+	gc := perfmodel.GridderCounts(d)
+	gfw := gc.Flops / g / 1e9
+	if math.Abs(gfw-32) > 3 {
+		t.Fatalf("trace-derived efficiency %.1f GFlops/W, want ~32", gfw)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package report renders the benchmark results: fixed-width tables
+// (the rows the paper's tables and figure captions report), ASCII
+// scatter plots (the uv coverage of Fig. 8), CSV series for external
+// plotting, and PGM images for the example imager.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with 4
+// significant digits.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	seps := make([]string, len(t.header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.header, ","))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Scatter renders points into a w x h character raster; density maps
+// to the ramp " .:+*#@". Coordinates are scaled to the data's
+// bounding square around the origin (symmetric), which is the right
+// frame for a uv-coverage plot.
+func Scatter(us, vs []float64, w, h int) string {
+	if len(us) != len(vs) {
+		panic("report: scatter length mismatch")
+	}
+	if w < 2 || h < 2 {
+		panic("report: scatter raster too small")
+	}
+	max := 0.0
+	for i := range us {
+		max = math.Max(max, math.Max(math.Abs(us[i]), math.Abs(vs[i])))
+	}
+	if max == 0 {
+		max = 1
+	}
+	counts := make([]int, w*h)
+	peak := 0
+	for i := range us {
+		x := int((us[i]/max + 1) / 2 * float64(w-1))
+		y := int((vs[i]/max + 1) / 2 * float64(h-1))
+		counts[y*w+x]++
+		if counts[y*w+x] > peak {
+			peak = counts[y*w+x]
+		}
+	}
+	ramp := []byte(" .:+*#@")
+	var b strings.Builder
+	for y := h - 1; y >= 0; y-- { // v axis up
+		for x := 0; x < w; x++ {
+			c := counts[y*w+x]
+			idx := 0
+			if c > 0 {
+				// Log scale: uv coverage is very dense in the core.
+				idx = 1 + int(float64(len(ramp)-2)*math.Log1p(float64(c))/math.Log1p(float64(peak)))
+				if idx >= len(ramp) {
+					idx = len(ramp) - 1
+				}
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WritePGM writes a grayscale image (row-major floats) as a binary
+// PGM, normalizing to the data range. Negative values clip to black.
+func WritePGM(w io.Writer, img []float64, width, height int) error {
+	if len(img) != width*height {
+		return fmt.Errorf("report: image size mismatch: %d != %d*%d", len(img), width, height)
+	}
+	maxV := 0.0
+	for _, v := range img {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", width, height); err != nil {
+		return err
+	}
+	buf := make([]byte, len(img))
+	for i, v := range img {
+		if v < 0 {
+			v = 0
+		}
+		buf[i] = byte(255 * v / maxV)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Bar renders a one-line proportional bar of width chars for a value
+// within [0, total].
+func Bar(value, total float64, width int) string {
+	if total <= 0 || width < 1 {
+		return ""
+	}
+	n := int(value / total * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}

@@ -1,0 +1,120 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 123456789.0)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1.5") {
+		t.Fatalf("row mangled: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "1.235e+08") {
+		t.Fatalf("big float not in scientific notation: %q", lines[3])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, 2)
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	want := "a,b\n1,2\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestScatterBasic(t *testing.T) {
+	us := []float64{0, 1, -1, 0.5}
+	vs := []float64{0, 1, -1, -0.5}
+	s := Scatter(us, vs, 21, 11)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 11 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 21 {
+			t.Fatalf("line width %d", len(l))
+		}
+	}
+	// The origin point must be marked (center cell).
+	if lines[5][10] == ' ' {
+		t.Fatal("center point missing")
+	}
+	// Top-right corner has the (1,1) point.
+	if lines[0][20] == ' ' {
+		t.Fatal("corner point missing")
+	}
+}
+
+func TestScatterPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Scatter([]float64{1}, []float64{}, 10, 10) },
+		func() { Scatter(nil, nil, 1, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScatterEmptyDataOK(t *testing.T) {
+	s := Scatter(nil, nil, 5, 5)
+	if !strings.Contains(s, "\n") {
+		t.Fatal("expected raster output")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	img := []float64{0, 0.5, 1, -3}
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, img, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if !bytes.HasPrefix(out, []byte("P5\n2 2\n255\n")) {
+		t.Fatalf("bad header: %q", out[:12])
+	}
+	pix := out[len(out)-4:]
+	if pix[0] != 0 || pix[2] != 255 || pix[3] != 0 {
+		t.Fatalf("pixels = %v", pix)
+	}
+}
+
+func TestWritePGMSizeMismatch(t *testing.T) {
+	if err := WritePGM(&bytes.Buffer{}, make([]float64, 3), 2, 2); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if b := Bar(5, 10, 10); b != "#####....." {
+		t.Fatalf("bar = %q", b)
+	}
+	if b := Bar(20, 10, 10); b != "##########" {
+		t.Fatalf("clipped bar = %q", b)
+	}
+	if b := Bar(1, 0, 10); b != "" {
+		t.Fatalf("degenerate bar = %q", b)
+	}
+}

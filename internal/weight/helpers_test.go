@@ -1,0 +1,25 @@
+package weight
+
+import (
+	"repro/internal/grid"
+	"repro/internal/plan"
+	"repro/internal/sky"
+	"repro/internal/uvwsim"
+)
+
+// planFor builds the execution plan matching the test geometry.
+func planFor(gridSize int, imageSize float64, freqs []float64, tracks [][]uvwsim.UVW) (*plan.Plan, error) {
+	return plan.New(plan.Config{
+		GridSize:    gridSize,
+		SubgridSize: 24,
+		ImageSize:   imageSize,
+		Frequencies: freqs,
+		// Match the margin the core kernels assume.
+		KernelSupport:       6,
+		ATermUpdateInterval: 0,
+	}, tracks)
+}
+
+func coreNewGrid(n int) *grid.Grid { return grid.NewGrid(n) }
+
+func stokesI(img *grid.Grid) []float64 { return sky.StokesI(img) }

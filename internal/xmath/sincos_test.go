@@ -1,0 +1,139 @@
+package xmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The paper (Section VI-C) uses arguments in [-1e4, 1e4] and requires a
+// maximum error of a few float32 ulps (4 ulps SVML medium accuracy on
+// the CPU, 2 ulps for the GPU special function units). The float32 ulp
+// near 1.0 is ~6e-8, so the thresholds below correspond to those bounds
+// expressed as absolute error of values in [-1, 1].
+
+const kernelArgRange = 1e4
+
+func TestSincosFastAccuracy(t *testing.T) {
+	err := MaxSincosError(SincosFast, kernelArgRange, 200001)
+	if err > 4*6e-8 {
+		t.Fatalf("SincosFast max error %g exceeds 4 float32 ulps", err)
+	}
+}
+
+func TestSincosLUTAccuracy(t *testing.T) {
+	err := MaxSincosError(SincosLUT, kernelArgRange, 200001)
+	// The LUT models an SFU: bounded absolute error well below single
+	// precision visibility noise, but looser than the polynomial.
+	if err > 5e-7 {
+		t.Fatalf("SincosLUT max error %g exceeds SFU-like bound", err)
+	}
+}
+
+func TestSincosAccurateMatchesLibm(t *testing.T) {
+	if err := MaxSincosError(SincosAccurate, kernelArgRange, 10001); err != 0 {
+		t.Fatalf("reference evaluator deviates from libm: %g", err)
+	}
+}
+
+func TestSincosPythagoreanIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, f := range []struct {
+		name string
+		fn   SincosFunc
+		tol  float64
+	}{
+		{"fast", SincosFast, 1e-7},
+		{"lut", SincosLUT, 2e-6},
+	} {
+		for i := 0; i < 10000; i++ {
+			x := (r.Float64()*2 - 1) * kernelArgRange
+			s, c := f.fn(x)
+			if d := math.Abs(s*s + c*c - 1); d > f.tol {
+				t.Fatalf("%s: sin^2+cos^2-1 = %g at x=%g", f.name, d, x)
+			}
+		}
+	}
+}
+
+func TestSincosSymmetry(t *testing.T) {
+	// sin is odd, cos is even; the fast evaluator must preserve this for
+	// the gridder/degridder conjugate symmetry to hold.
+	for i := 0; i < 1000; i++ {
+		x := float64(i) * 0.0173
+		s1, c1 := SincosFast(x)
+		s2, c2 := SincosFast(-x)
+		if math.Abs(s1+s2) > 1e-15 || math.Abs(c1-c2) > 1e-15 {
+			t.Fatalf("symmetry violated at x=%g", x)
+		}
+	}
+}
+
+func TestPhasorUnitModulus(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		x := (r.Float64()*2 - 1) * kernelArgRange
+		p := Phasor(x, SincosFast)
+		if d := math.Abs(real(p)*real(p) + imag(p)*imag(p) - 1); d > 1e-7 {
+			t.Fatalf("|phasor|^2-1 = %g", d)
+		}
+	}
+}
+
+func TestPhasorMatchesEuler(t *testing.T) {
+	for _, x := range []float64{0, 0.5, -0.5, math.Pi, -math.Pi / 3, 123.456} {
+		p := Phasor(x, SincosAccurate)
+		want := complex(math.Cos(x), math.Sin(x))
+		if cabs(p-want) > 1e-15 {
+			t.Fatalf("phasor(%g) = %v, want %v", x, p, want)
+		}
+	}
+}
+
+func TestReduceTwoPiRange(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 100000; i++ {
+		x := (r.Float64()*2 - 1) * kernelArgRange
+		red := reduceTwoPi(x)
+		if red < -math.Pi-1e-9 || red > math.Pi+1e-9 {
+			t.Fatalf("reduction out of range: x=%g -> %g", x, red)
+		}
+		// sin must be invariant under the reduction.
+		if d := math.Abs(math.Sin(x) - math.Sin(red)); d > 1e-10 {
+			t.Fatalf("reduction changed the angle: x=%g err=%g", x, d)
+		}
+	}
+}
+
+func TestFloat32ULP(t *testing.T) {
+	if u := Float32ULP(1.0); math.Abs(u-1.1920928955078125e-07) > 1e-20 {
+		t.Fatalf("ulp(1.0) = %g", u)
+	}
+	if Float32ULP(0) <= 0 {
+		t.Fatal("ulp(0) must be positive")
+	}
+}
+
+func BenchmarkSincosAccurate(b *testing.B) {
+	benchSincos(b, SincosAccurate)
+}
+
+func BenchmarkSincosFast(b *testing.B) {
+	benchSincos(b, SincosFast)
+}
+
+func BenchmarkSincosLUT(b *testing.B) {
+	benchSincos(b, SincosLUT)
+}
+
+func benchSincos(b *testing.B, f SincosFunc) {
+	var s, c float64
+	for i := 0; i < b.N; i++ {
+		ds, dc := f(float64(i) * 0.0137)
+		s += ds
+		c += dc
+	}
+	sinkFloat = s + c
+}
+
+var sinkFloat float64

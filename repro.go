@@ -1,0 +1,337 @@
+// Package repro is a Go reproduction of "Image-Domain Gridding on
+// Graphics Processors" (Veenboer, Petschow, Romein; IPDPS 2017). It
+// implements the IDG algorithm — gridder and degridder kernels,
+// subgrid FFTs, adder and splitter, execution planning, tapering,
+// A-term (direction-dependent effect) correction and W-stacking —
+// together with a W-projection baseline, a synthetic SKA1-low
+// observation generator, a CLEAN-based imaging cycle, and the
+// performance/energy models that regenerate the paper's evaluation
+// (Table I and Figures 8-16). See DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the paper-vs-measured record.
+//
+// The package itself is a facade: it re-exports the main API from the
+// internal packages and provides the Observation builder that wires a
+// full synthetic observation together.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/aterm"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/layout"
+	"repro/internal/plan"
+	"repro/internal/sky"
+	"repro/internal/uvwsim"
+	"repro/internal/xmath"
+)
+
+// Re-exported core types; see the internal packages for full
+// documentation.
+type (
+	// Params configures the IDG kernels (grid and subgrid geometry,
+	// frequencies, taper, sincos evaluator, worker count).
+	Params = core.Params
+	// Kernels bundles the precomputed IDG kernel state.
+	Kernels = core.Kernels
+	// VisibilitySet holds an observation's uvw tracks and 2x2
+	// correlation visibilities.
+	VisibilitySet = core.VisibilitySet
+	// StageTimes records wall-clock time per pipeline stage.
+	StageTimes = core.StageTimes
+	// Grid is the uv-grid (4 correlation planes).
+	Grid = grid.Grid
+	// Subgrid is one N~ x N~ tile.
+	Subgrid = grid.Subgrid
+	// Plan is the execution plan (work items).
+	Plan = plan.Plan
+	// PlanConfig configures the execution planner.
+	PlanConfig = plan.Config
+	// WorkItem is one subgrid plus its visibility block.
+	WorkItem = plan.WorkItem
+	// Baseline is an ordered station pair.
+	Baseline = uvwsim.Baseline
+	// UVW is a baseline coordinate in meters.
+	UVW = uvwsim.UVW
+	// Matrix2 is a 2x2 complex matrix (Jones / brightness).
+	Matrix2 = xmath.Matrix2
+	// PointSource is a point source with Stokes fluxes.
+	PointSource = sky.PointSource
+	// SkyModel is a collection of point sources.
+	SkyModel = sky.Model
+	// ATermProvider evaluates direction-dependent station responses.
+	ATermProvider = aterm.Provider
+	// Station is a station position in local ENU meters.
+	Station = layout.Station
+)
+
+// NewKernels precomputes the IDG kernel state for the parameters.
+func NewKernels(p Params) (*Kernels, error) { return core.NewKernels(p) }
+
+// NewGrid allocates a zeroed n x n grid.
+func NewGrid(n int) *Grid { return grid.NewGrid(n) }
+
+// NewPlan builds an execution plan from per-baseline uvw tracks.
+func NewPlan(cfg PlanConfig, tracks [][]UVW) (*Plan, error) { return plan.New(cfg, tracks) }
+
+// GridToImage converts a uv grid into a sky image (centered inverse
+// FFT per correlation).
+func GridToImage(g *Grid, workers int) *Grid { return core.GridToImage(g, workers) }
+
+// ImageToGrid converts a sky image into a uv grid.
+func ImageToGrid(img *Grid, workers int) *Grid { return core.ImageToGrid(img, workers) }
+
+// ObservationConfig describes a synthetic SKA1-low-like observation.
+// The zero value is not valid; start from DefaultObservation or
+// PaperObservation.
+type ObservationConfig struct {
+	// NrStations, NrTimesteps and NrChannels set the observation
+	// dimensions (paper: 150, 8192, 16).
+	NrStations  int
+	NrTimesteps int
+	NrChannels  int
+	// StartFrequency and ChannelWidth define the subband in Hz.
+	StartFrequency float64
+	ChannelWidth   float64
+	// GridSize, SubgridSize and KernelSupport set the imaging
+	// geometry (paper: 2048, 24, and the taper margin).
+	GridSize      int
+	SubgridSize   int
+	KernelSupport int
+	// GridMargin keeps the outermost baselines this many pixels away
+	// from the grid edge when deriving the image size.
+	GridMargin int
+	// ATermInterval is the A-term update interval in time steps
+	// (paper: 256).
+	ATermInterval int
+	// MaxTimestepsPerSubgrid is T~max (0: unlimited).
+	MaxTimestepsPerSubgrid int
+	// WStepLambda enables W-stacking when positive.
+	WStepLambda float64
+	// CoreOnly restricts the layout to the dense station core (no
+	// spiral arms), which yields short baselines and therefore a wide
+	// field of view — the regime where w terms matter.
+	CoreOnly bool
+	// HourAngleStartDeg overrides the observation start hour angle
+	// when non-zero; observing far from transit increases the w
+	// coordinates.
+	HourAngleStartDeg float64
+	// Workers bounds parallelism (0: GOMAXPROCS).
+	Workers int
+}
+
+// DefaultObservation returns a laptop-scale observation that keeps the
+// paper's geometry ratios (24-pixel subgrids on a grid ~85x the
+// subgrid, 16 channels, A-term updates) at ~1/1000 the visibility
+// count.
+func DefaultObservation() ObservationConfig {
+	return ObservationConfig{
+		NrStations:     30,
+		NrTimesteps:    256,
+		NrChannels:     16,
+		StartFrequency: 150e6,
+		ChannelWidth:   200e3,
+		GridSize:       1024,
+		SubgridSize:    24,
+		KernelSupport:  6,
+		GridMargin:     48,
+		ATermInterval:  64,
+	}
+}
+
+// PaperObservation returns the full benchmark of Section VI-A:
+// 150 stations, 8192 x 1 s, 16 channels, 24x24 subgrids on a
+// 2048x2048 grid, A-terms every 256 steps. Building its plan takes
+// seconds; allocating its visibilities takes ~100 GB, so use
+// BuildPlan rather than Build for this configuration.
+func PaperObservation() ObservationConfig {
+	return ObservationConfig{
+		NrStations:     150,
+		NrTimesteps:    8192,
+		NrChannels:     16,
+		StartFrequency: 150e6,
+		// One 195 kHz subband split into 16 channels: the imaging
+		// step processes subbands independently (Fig. 2), so the
+		// fractional bandwidth per plan is small.
+		ChannelWidth:  12.2e3,
+		GridSize:      2048,
+		SubgridSize:   24,
+		KernelSupport: 7,
+		GridMargin:    64,
+		ATermInterval: 256,
+	}
+}
+
+// Validate checks the configuration.
+func (c *ObservationConfig) Validate() error {
+	switch {
+	case c.NrStations < 2:
+		return fmt.Errorf("repro: need >= 2 stations, got %d", c.NrStations)
+	case c.NrTimesteps < 1 || c.NrChannels < 1:
+		return fmt.Errorf("repro: empty observation %dx%d", c.NrTimesteps, c.NrChannels)
+	case c.StartFrequency <= 0 || c.ChannelWidth < 0:
+		return fmt.Errorf("repro: bad subband %g/%g", c.StartFrequency, c.ChannelWidth)
+	case c.GridMargin < 0 || c.GridMargin >= c.GridSize/2:
+		return fmt.Errorf("repro: bad grid margin %d", c.GridMargin)
+	}
+	return nil
+}
+
+// Frequencies returns the channel center frequencies.
+func (c *ObservationConfig) Frequencies() []float64 {
+	f := make([]float64, c.NrChannels)
+	for i := range f {
+		f[i] = c.StartFrequency + float64(i)*c.ChannelWidth
+	}
+	return f
+}
+
+// Observation bundles everything needed to run the IDG pipelines on a
+// synthetic observation.
+type Observation struct {
+	Config    ObservationConfig
+	Stations  []Station
+	Simulator *uvwsim.Simulator
+	Plan      *Plan
+	Kernels   *Kernels
+	// Vis is nil until FillFromModel or AllocateVisibilities is
+	// called (the full paper set would need ~100 GB).
+	Vis *VisibilitySet
+	// ImageSize is the derived field of view in direction cosines.
+	ImageSize float64
+}
+
+// BuildPlan constructs stations, uvw simulator, execution plan and
+// kernels, but no visibility storage.
+func (c ObservationConfig) BuildPlan() (*Observation, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	lcfg := layout.SKA1LowConfig()
+	lcfg.NrStations = c.NrStations
+	if c.CoreOnly {
+		lcfg.CoreFraction = 1.0
+	}
+	stations := layout.Generate(lcfg)
+	opts := uvwsim.DefaultOptions()
+	if c.HourAngleStartDeg != 0 {
+		opts.HourAngleStartDeg = c.HourAngleStartDeg
+	}
+	sim := uvwsim.New(stations, opts)
+
+	freqs := c.Frequencies()
+	maxFreq := freqs[len(freqs)-1]
+	maxUV := sim.MaxUV(c.NrTimesteps) * maxFreq / uvwsim.SpeedOfLight
+	imageSize := float64(c.GridSize/2-c.GridMargin) / maxUV
+
+	pcfg := PlanConfig{
+		GridSize:               c.GridSize,
+		SubgridSize:            c.SubgridSize,
+		ImageSize:              imageSize,
+		Frequencies:            freqs,
+		KernelSupport:          c.KernelSupport,
+		MaxTimestepsPerSubgrid: c.MaxTimestepsPerSubgrid,
+		ATermUpdateInterval:    c.ATermInterval,
+		WStepLambda:            c.WStepLambda,
+	}
+	baselines := sim.Baselines()
+	p, err := plan.NewStreaming(pcfg, len(baselines), c.NrTimesteps,
+		func(b int, buf []UVW) []UVW {
+			return sim.BaselineTrack(baselines[b], 0, c.NrTimesteps, buf)
+		}, c.Workers)
+	if err != nil {
+		return nil, err
+	}
+	k, err := core.NewKernels(Params{
+		GridSize:    c.GridSize,
+		SubgridSize: c.SubgridSize,
+		ImageSize:   imageSize,
+		Frequencies: freqs,
+		Workers:     c.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Observation{
+		Config:    c,
+		Stations:  stations,
+		Simulator: sim,
+		Plan:      p,
+		Kernels:   k,
+		ImageSize: imageSize,
+	}, nil
+}
+
+// Build is BuildPlan plus visibility storage allocation.
+func (c ObservationConfig) Build() (*Observation, error) {
+	obs, err := c.BuildPlan()
+	if err != nil {
+		return nil, err
+	}
+	obs.AllocateVisibilities()
+	return obs, nil
+}
+
+// AllocateVisibilities materializes the uvw tracks and zeroed
+// visibility storage.
+func (o *Observation) AllocateVisibilities() {
+	if o.Vis != nil {
+		return
+	}
+	tracks := o.Simulator.AllTracks(o.Config.NrTimesteps)
+	o.Vis = core.NewVisibilitySet(o.Simulator.Baselines(), tracks, o.Config.NrChannels)
+}
+
+// FillFromModel fills the visibilities with exact direct predictions
+// of a point-source model (the ground-truth workload generator).
+func (o *Observation) FillFromModel(model SkyModel) {
+	o.AllocateVisibilities()
+	freqs := o.Config.Frequencies()
+	for b := range o.Vis.Data {
+		for t := 0; t < o.Vis.NrTimesteps; t++ {
+			coord := o.Vis.UVW[b][t]
+			for ch := 0; ch < o.Vis.NrChannels; ch++ {
+				sc := coord.Scale(freqs[ch])
+				o.Vis.Data[b][t*o.Vis.NrChannels+ch] = model.Predict(sc.U, sc.V, sc.W)
+			}
+		}
+	}
+}
+
+// GridAll grids every visibility onto a fresh grid and returns it
+// with the stage times.
+func (o *Observation) GridAll(prov ATermProvider) (*Grid, StageTimes, error) {
+	if o.Vis == nil {
+		return nil, StageTimes{}, fmt.Errorf("repro: visibilities not allocated")
+	}
+	g := grid.NewGrid(o.Config.GridSize)
+	times, err := o.Kernels.GridVisibilities(o.Plan, o.Vis, prov, g)
+	return g, times, err
+}
+
+// DegridAll predicts visibilities for the given uv grid, overwriting
+// the observation's visibility data, and returns the stage times.
+func (o *Observation) DegridAll(prov ATermProvider, g *Grid) (StageTimes, error) {
+	if o.Vis == nil {
+		return StageTimes{}, fmt.Errorf("repro: visibilities not allocated")
+	}
+	return o.Kernels.DegridVisibilities(o.Plan, o.Vis, prov, g)
+}
+
+// DirtyImage grids the visibilities and converts the result into a
+// normalized, taper-corrected sky image.
+func (o *Observation) DirtyImage(prov ATermProvider) (*Grid, error) {
+	g, _, err := o.GridAll(prov)
+	if err != nil {
+		return nil, err
+	}
+	img := core.GridToImage(g, o.Config.Workers)
+	st := o.Plan.Stats()
+	core.ScaleImage(img, float64(o.Config.GridSize*o.Config.GridSize)/float64(st.NrGriddedVisibilities))
+	core.ApplyTaperCorrection(img, o.Kernels.TaperCorrection(o.Config.GridSize))
+	return img, nil
+}
+
+// StokesI extracts the Stokes I plane of an image.
+func StokesI(img *Grid) []float64 { return sky.StokesI(img) }
