@@ -1,0 +1,30 @@
+# Build/test entry points. `make ci` is what the robustness gate runs:
+# vet, build, the full suite under the race detector, and the chaos
+# tests (fault injection + cancellation) raced explicitly.
+
+GO ?= go
+
+.PHONY: all build vet test race chaos ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The chaos tests drive the worker pool through injected panics,
+# corrupt visibilities and cancellation; racing them exercises the
+# report/cancel paths under contention.
+chaos:
+	$(GO) test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
+	$(GO) test -race -run 'Facade|Chaos|Cancel' . ./internal/core/
+
+ci: vet build race chaos

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -184,7 +185,7 @@ func BenchmarkAblationTmax(b *testing.B) {
 			var times StageTimes
 			for i := 0; i < b.N; i++ {
 				g := NewGrid(cfg.GridSize)
-				t, err := obs.Kernels.GridVisibilities(obs.Plan, obs.Vis, nil, g)
+				t, err := obs.Kernels.GridVisibilities(context.Background(), obs.Plan, obs.Vis, nil, g)
 				if err != nil {
 					b.Fatal(err)
 				}

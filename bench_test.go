@@ -21,6 +21,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -329,7 +330,7 @@ func BenchmarkFullGriddingPass(b *testing.B) {
 	var times StageTimes
 	for i := 0; i < b.N; i++ {
 		g := NewGrid(obs.Config.GridSize)
-		t, err := obs.Kernels.GridVisibilities(obs.Plan, obs.Vis, nil, g)
+		t, err := obs.Kernels.GridVisibilities(context.Background(), obs.Plan, obs.Vis, nil, g)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -343,14 +344,14 @@ func BenchmarkFullGriddingPass(b *testing.B) {
 func BenchmarkFullDegriddingPass(b *testing.B) {
 	obs := mustBenchObs(b)
 	g := NewGrid(obs.Config.GridSize)
-	if _, err := obs.Kernels.GridVisibilities(obs.Plan, obs.Vis, nil, g); err != nil {
+	if _, err := obs.Kernels.GridVisibilities(context.Background(), obs.Plan, obs.Vis, nil, g); err != nil {
 		b.Fatal(err)
 	}
-	out := NewVisibilitySet(obs.Vis.Baselines, obs.Vis.UVW, obs.Vis.NrChannels)
+	out := MustNewVisibilitySet(obs.Vis.Baselines, obs.Vis.UVW, obs.Vis.NrChannels)
 	b.ResetTimer()
 	var times StageTimes
 	for i := 0; i < b.N; i++ {
-		t, err := obs.Kernels.DegridVisibilities(obs.Plan, out, nil, g)
+		t, err := obs.Kernels.DegridVisibilities(context.Background(), obs.Plan, out, nil, g)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -63,7 +63,9 @@ func runGenerate(path string, stations, steps, channels, sources int, sigma floa
 			L: offsets[i][0] * pix, M: offsets[i][1] * pix, I: offsets[i][2],
 		})
 	}
-	obs.FillFromModel(model)
+	if err := obs.FillFromModel(model); err != nil {
+		fail(err)
+	}
 	if sigma > 0 {
 		if err := noise.AddGaussian(obs.Vis, sigma, seed); err != nil {
 			fail(err)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -40,14 +41,16 @@ func runMeasured(scale float64) {
 		{L: -80 * pix, M: 60 * pix, I: 0.5},
 	}
 	start := time.Now()
-	obs.FillFromModel(model)
+	if err := obs.FillFromModel(model); err != nil {
+		fatal(err)
+	}
 	fillTime := time.Since(start)
 
-	g, gridTimes, err := obs.GridAll(nil)
+	g, gridTimes, err := obs.GridAll(context.Background(), nil)
 	if err != nil {
 		fatal(err)
 	}
-	degridTimes, err := obs.DegridAll(nil, g)
+	degridTimes, err := obs.DegridAll(context.Background(), nil, g)
 	if err != nil {
 		fatal(err)
 	}

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"repro/internal/clean"
@@ -33,8 +35,27 @@ func main() {
 		outDir   = flag.String("out", ".", "output directory for PGM images")
 		scheme   = flag.String("weighting", "natural", "imaging weighting: natural, uniform or robust")
 		robust   = flag.Float64("robust", 0.0, "Briggs robustness parameter (weighting=robust)")
+		policy   = flag.String("fault-policy", "fail-fast", "work-item failure policy: fail-fast, retry or skip-and-flag")
+		retries  = flag.Int("max-retries", 0, "retries per failed work item (retry/skip-and-flag policies)")
+		flagClip = flag.Float64("flag-clip", 0, "flag visibilities with amplitude above this (0 disables)")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 disables)")
 	)
 	flag.Parse()
+
+	// The run is cancellable: Ctrl-C (or the -timeout deadline) aborts
+	// the pipelines promptly with ErrCanceled instead of hanging.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	pol, err := repro.ParseFaultPolicy(*policy)
+	if err != nil {
+		fail(err)
+	}
+	ft := repro.FaultConfig{Policy: pol, MaxRetries: *retries}
 
 	cfg := repro.DefaultObservation()
 	cfg.NrStations = *stations
@@ -61,7 +82,19 @@ func main() {
 	}
 	fmt.Printf("observing %d hidden sources with %d stations, %d steps, %d channels\n",
 		len(truth), *stations, *steps, *channels)
-	obs.FillFromModel(truth)
+	if err := obs.FillFromModel(truth); err != nil {
+		fail(err)
+	}
+
+	// Flag corrupt samples (NaN/Inf always; amplitude clipping on
+	// request) so they enter the gridder with zero weight.
+	fstats, err := obs.FlagVisibilities(repro.FlaggingConfig{NonFinite: true, MaxAmplitude: *flagClip})
+	if err != nil {
+		fail(err)
+	}
+	if fstats.NewlyFlagged() > 0 {
+		fmt.Println(fstats)
+	}
 
 	// Imaging weights (natural keeps unit weights).
 	var schemeID weight.Scheme
@@ -86,9 +119,12 @@ func main() {
 	fmt.Printf("weighting: %s (total weight %.3g)\n", schemeID, totalWeight)
 
 	// --- Imaging: gridding + inverse FFT (Fig. 2 left branch).
-	g, times, err := obs.GridAll(nil)
+	g, times, faults, err := obs.GridAllFT(ctx, nil, ft)
 	if err != nil {
 		fail(err)
+	}
+	if faults.Degraded() {
+		fmt.Println(faults)
 	}
 	st := obs.Plan.Stats()
 	norm := float64(n*n) / totalWeight
@@ -105,9 +141,11 @@ func main() {
 	psfVis := obs.Vis
 	unit := repro.SkyModel{{L: 0, M: 0, I: 1}}
 	backup := cloneVis(psfVis)
-	obs.FillFromModel(unit)
+	if err := obs.FillFromModel(unit); err != nil {
+		fail(err)
+	}
 	weight.Apply(obs.Vis, weights, cfg.Frequencies())
-	pg, _, err := obs.GridAll(nil)
+	pg, _, err := obs.GridAll(ctx, nil)
 	if err != nil {
 		fail(err)
 	}
@@ -148,8 +186,11 @@ func main() {
 	// --- Predict (Fig. 2 right branch): FFT + degridding, subtract.
 	modelImg := model.Rasterize(n, obs.ImageSize)
 	mg := core.ImageToGrid(modelImg, 0)
-	predicted := core.NewVisibilitySet(obs.Vis.Baselines, obs.Vis.UVW, obs.Vis.NrChannels)
-	if _, err := obs.Kernels.DegridVisibilities(obs.Plan, predicted, nil, mg); err != nil {
+	predicted, err := core.NewVisibilitySet(obs.Vis.Baselines, obs.Vis.UVW, obs.Vis.NrChannels)
+	if err != nil {
+		fail(err)
+	}
+	if _, err := obs.Kernels.DegridVisibilities(ctx, obs.Plan, predicted, nil, mg); err != nil {
 		fail(err)
 	}
 	weight.Apply(predicted, weights, cfg.Frequencies())
@@ -158,7 +199,7 @@ func main() {
 			obs.Vis.Data[b][i] = obs.Vis.Data[b][i].Sub(predicted.Data[b][i])
 		}
 	}
-	rg, _, err := obs.GridAll(nil)
+	rg, _, err := obs.GridAll(ctx, nil)
 	if err != nil {
 		fail(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -58,7 +59,7 @@ func main() {
 	}
 
 	report := func(name string, prov repro.ATermProvider) float64 {
-		img, err := obs.DirtyImage(prov)
+		img, err := obs.DirtyImage(context.Background(), prov)
 		if err != nil {
 			log.Fatal(err)
 		}

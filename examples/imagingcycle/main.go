@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,10 +33,13 @@ func main() {
 		{L: 40 * pixel, M: -28 * pixel, I: 1.0},
 		{L: -64 * pixel, M: 44 * pixel, I: 0.55},
 	}
-	obs.FillFromModel(truth)
+	if err := obs.FillFromModel(truth); err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	// The PSF is needed by CLEAN's minor cycles.
-	psf, err := obs.PSF()
+	psf, err := obs.PSF(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +47,7 @@ func main() {
 	skyModel := repro.SkyModel{}
 	for major := 1; major <= 3; major++ {
 		// Image the current residual visibilities.
-		dirty, err := obs.DirtyImage(nil)
+		dirty, err := obs.DirtyImage(ctx, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,12 +82,17 @@ func main() {
 		// the data, revealing fainter structure.
 		modelImg := skyModel.Rasterize(n, obs.ImageSize)
 		mg := repro.ImageToGrid(modelImg, 0)
-		predicted := repro.NewVisibilitySet(obs.Vis.Baselines, obs.Vis.UVW, obs.Vis.NrChannels)
-		if _, err := obs.Kernels.DegridVisibilities(obs.Plan, predicted, nil, mg); err != nil {
+		predicted, err := repro.NewVisibilitySet(obs.Vis.Baselines, obs.Vis.UVW, obs.Vis.NrChannels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := obs.Kernels.DegridVisibilities(ctx, obs.Plan, predicted, nil, mg); err != nil {
 			log.Fatal(err)
 		}
 		// Reset data to truth minus full model each cycle.
-		obs.FillFromModel(truth)
+		if err := obs.FillFromModel(truth); err != nil {
+			log.Fatal(err)
+		}
 		for b := range obs.Vis.Data {
 			for i := range obs.Vis.Data[b] {
 				obs.Vis.Data[b][i] = obs.Vis.Data[b][i].Sub(predicted.Data[b][i])

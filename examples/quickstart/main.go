@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,10 +35,12 @@ func main() {
 	// exactly (the direct measurement equation).
 	pixel := obs.ImageSize / float64(cfg.GridSize)
 	truth := repro.SkyModel{{L: 30 * pixel, M: -20 * pixel, I: 1.5}}
-	obs.FillFromModel(truth)
+	if err := obs.FillFromModel(truth); err != nil {
+		log.Fatal(err)
+	}
 
 	// Grid with IDG and convert to a sky image.
-	img, err := obs.DirtyImage(nil)
+	img, err := obs.DirtyImage(context.Background(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}

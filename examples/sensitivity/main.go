@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,7 +63,7 @@ func main() {
 			log.Fatal(err)
 		}
 		total := obs.ApplyWeights(w)
-		g, _, err := obs.GridAll(nil)
+		g, _, err := obs.GridAll(context.Background(), nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,9 @@ func buildObs(wstep float64) (*repro.Observation, repro.SkyModel, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	obs.AllocateVisibilities()
+	if err := obs.AllocateVisibilities(); err != nil {
+		return nil, nil, err
+	}
 	pixel := obs.ImageSize / float64(cfg.GridSize)
 	// A source far from the phase center, where n(l,m) is largest.
 	model := repro.SkyModel{{L: 85 * pixel, M: 62 * pixel, I: 1}}
@@ -50,10 +53,10 @@ func degridError(obs *repro.Observation, model repro.SkyModel, stacked bool) flo
 	img := model.Rasterize(n, obs.ImageSize)
 	var err error
 	if stacked {
-		_, err = obs.DegridWStacked(nil, img)
+		_, err = obs.DegridWStacked(context.Background(), nil, img)
 	} else {
 		g := repro.ImageToGrid(img, 0)
-		_, err = obs.DegridAll(nil, g)
+		_, err = obs.DegridAll(context.Background(), nil, g)
 	}
 	if err != nil {
 		log.Fatal(err)

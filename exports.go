@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/aterm"
 	"repro/internal/clean"
 	"repro/internal/core"
@@ -63,9 +65,16 @@ func ApplyWScreen(img *Grid, imageSize, w, sign float64) {
 }
 
 // NewVisibilitySet allocates zeroed visibilities over the baselines
-// and uvw tracks.
-func NewVisibilitySet(baselines []Baseline, uvw [][]UVW, nrChannels int) *VisibilitySet {
+// and uvw tracks. Mismatched dimensions return an error wrapping
+// ErrBadInput.
+func NewVisibilitySet(baselines []Baseline, uvw [][]UVW, nrChannels int) (*VisibilitySet, error) {
 	return core.NewVisibilitySet(baselines, uvw, nrChannels)
+}
+
+// MustNewVisibilitySet is NewVisibilitySet panicking on invalid input,
+// for tests and short programs.
+func MustNewVisibilitySet(baselines []Baseline, uvw [][]UVW, nrChannels int) *VisibilitySet {
+	return core.MustNewVisibilitySet(baselines, uvw, nrChannels)
 }
 
 // PixelToLM converts image pixel indices to direction cosines.
@@ -84,11 +93,11 @@ func Identity2() Matrix2 { return xmath.Identity2() }
 // W-stacking entry points (forward to the core package).
 
 // GridWStacked grids every W-layer onto its own grid.
-func (o *Observation) GridWStacked(prov ATermProvider) (map[int]*Grid, StageTimes, error) {
-	if o.Vis == nil {
-		o.AllocateVisibilities()
+func (o *Observation) GridWStacked(ctx context.Context, prov ATermProvider) (map[int]*Grid, StageTimes, error) {
+	if err := o.AllocateVisibilities(); err != nil {
+		return nil, StageTimes{}, err
 	}
-	return o.Kernels.GridVisibilitiesWStacked(o.Plan, o.Vis, prov)
+	return o.Kernels.GridVisibilitiesWStacked(ctx, o.Plan, o.Vis, prov)
 }
 
 // CombineWStackedImage applies per-layer w screens and sums the layer
@@ -99,18 +108,20 @@ func (o *Observation) CombineWStackedImage(grids map[int]*Grid) *Grid {
 
 // DegridWStacked predicts visibilities from a sky image through the
 // W-stacking pipeline.
-func (o *Observation) DegridWStacked(prov ATermProvider, img *Grid) (StageTimes, error) {
-	if o.Vis == nil {
-		o.AllocateVisibilities()
+func (o *Observation) DegridWStacked(ctx context.Context, prov ATermProvider, img *Grid) (StageTimes, error) {
+	if err := o.AllocateVisibilities(); err != nil {
+		return StageTimes{}, err
 	}
-	return o.Kernels.DegridVisibilitiesWStacked(o.Plan, o.Vis, prov, img)
+	return o.Kernels.DegridVisibilitiesWStacked(ctx, o.Plan, o.Vis, prov, img)
 }
 
 // PSF grids unit visibilities and returns the normalized Stokes I
 // point spread function (restoring the observation's visibilities
 // afterwards).
-func (o *Observation) PSF() ([]float64, error) {
-	o.AllocateVisibilities()
+func (o *Observation) PSF(ctx context.Context) ([]float64, error) {
+	if err := o.AllocateVisibilities(); err != nil {
+		return nil, err
+	}
 	backup := make([][]Matrix2, len(o.Vis.Data))
 	for b := range o.Vis.Data {
 		backup[b] = append([]Matrix2(nil), o.Vis.Data[b]...)
@@ -120,8 +131,10 @@ func (o *Observation) PSF() ([]float64, error) {
 			copy(o.Vis.Data[b], backup[b])
 		}
 	}()
-	o.FillFromModel(SkyModel{{L: 0, M: 0, I: 1}})
-	img, err := o.DirtyImage(nil)
+	if err := o.FillFromModel(SkyModel{{L: 0, M: 0, I: 1}}); err != nil {
+		return nil, err
+	}
+	img, err := o.DirtyImage(ctx, nil)
 	if err != nil {
 		return nil, err
 	}

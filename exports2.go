@@ -25,7 +25,9 @@ type ImagingWeights = weight.Weights
 
 // ComputeWeights builds the weighting function for this observation.
 func (o *Observation) ComputeWeights(scheme WeightScheme, robust float64) (*ImagingWeights, error) {
-	o.AllocateVisibilities()
+	if err := o.AllocateVisibilities(); err != nil {
+		return nil, err
+	}
 	return weight.Compute(weight.Config{
 		Scheme: scheme, Robust: robust,
 		GridSize: o.Config.GridSize, ImageSize: o.ImageSize,
@@ -44,7 +46,9 @@ func (o *Observation) ApplyWeights(w *ImagingWeights) float64 {
 // AddNoise adds zero-mean complex Gaussian noise with the given
 // per-component standard deviation to all visibilities.
 func (o *Observation) AddNoise(sigma float64, seed int64) error {
-	o.AllocateVisibilities()
+	if err := o.AllocateVisibilities(); err != nil {
+		return err
+	}
 	return noise.AddGaussian(o.Vis, sigma, seed)
 }
 
@@ -59,7 +63,9 @@ func ImageRMS(img []float64, n, cx, cy, exclude int) float64 {
 // WriteVisibilities stores the observation's visibilities in the
 // repository's checksummed binary format.
 func (o *Observation) WriteVisibilities(w io.Writer) error {
-	o.AllocateVisibilities()
+	if err := o.AllocateVisibilities(); err != nil {
+		return err
+	}
 	return dataio.Write(w, o.Vis, o.Config.Frequencies())
 }
 

@@ -1,0 +1,88 @@
+package repro
+
+import (
+	"repro/internal/faultinject"
+	"repro/internal/faulttol"
+	"repro/internal/flagging"
+)
+
+// Fault tolerance (internal/faulttol): every pipeline entry point
+// accepts a context for cancellation, and the FT variants take a
+// FaultConfig selecting what happens when a work item fails.
+
+type (
+	// FaultConfig selects the per-work-item failure policy of a
+	// pipeline run (fail fast, retry, skip-and-flag).
+	FaultConfig = faulttol.Config
+	// FaultPolicy enumerates the failure dispositions.
+	FaultPolicy = faulttol.Policy
+	// FaultReport is the degradation report of a fault-tolerant run:
+	// items processed/retried/skipped and visibilities dropped.
+	FaultReport = faulttol.Report
+	// WorkItemError is the typed per-work-item failure.
+	WorkItemError = faulttol.ItemError
+)
+
+// Failure policies.
+const (
+	// FailFast aborts the run on the first item failure.
+	FailFast = faulttol.FailFast
+	// RetryItems re-runs failed items before giving up.
+	RetryItems = faulttol.Retry
+	// SkipAndFlag drops failing items and completes the run,
+	// accounting every dropped visibility in the FaultReport.
+	SkipAndFlag = faulttol.SkipAndFlag
+)
+
+// Sentinel errors; match with errors.Is.
+var (
+	// ErrBadInput marks deterministic input problems.
+	ErrBadInput = faulttol.ErrBadInput
+	// ErrKernelPanic marks a recovered kernel crash.
+	ErrKernelPanic = faulttol.ErrKernelPanic
+	// ErrCanceled marks a run aborted by its context.
+	ErrCanceled = faulttol.ErrCanceled
+)
+
+// ParseFaultPolicy converts "fail-fast", "retry" or "skip-and-flag".
+func ParseFaultPolicy(s string) (FaultPolicy, error) { return faulttol.ParsePolicy(s) }
+
+// Visibility flagging (internal/flagging): flagged samples are
+// zero-weight in both gridding and degridding.
+
+type (
+	// FlaggingConfig selects the corrupt-sample detectors.
+	FlaggingConfig = flagging.Config
+	// FlaggingStats reports one flagging pass.
+	FlaggingStats = flagging.Stats
+)
+
+// FlagVisibilities runs the configured detectors (NaN/Inf, amplitude
+// clipping) over the observation's visibilities, marking bad samples
+// in the per-sample flag mask.
+func (o *Observation) FlagVisibilities(cfg FlaggingConfig) (FlaggingStats, error) {
+	if err := o.AllocateVisibilities(); err != nil {
+		return FlaggingStats{}, err
+	}
+	return flagging.Apply(o.Vis, cfg), nil
+}
+
+// Fault injection (internal/faultinject): deterministic chaos harness
+// for robustness testing.
+
+type (
+	// FaultSelector deterministically picks a fraction of work items.
+	FaultSelector = faultinject.Selector
+	// VisCorruption locates one corrupted visibility sample.
+	VisCorruption = faultinject.Corruption
+)
+
+// CorruptVisibilities overwrites a deterministic fraction of the
+// observation's samples with NaNs and returns their coordinates
+// (chaos-testing aid).
+func (o *Observation) CorruptVisibilities(fraction float64, seed uint64) ([]VisCorruption, error) {
+	if err := o.AllocateVisibilities(); err != nil {
+		return nil, err
+	}
+	return faultinject.CorruptVisibilities(o.Vis, fraction, seed), nil
+}

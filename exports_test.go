@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -82,7 +83,7 @@ func TestObservationPSF(t *testing.T) {
 	pix := obs.ImageSize / float64(cfg.GridSize)
 	obs.FillFromModel(SkyModel{{L: 10 * pix, M: 0, I: 1}})
 	before := obs.Vis.Data[0][0]
-	psf, err := obs.PSF()
+	psf, err := obs.PSF(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestWStackedFacadeRoundtrip(t *testing.T) {
 	pix := obs.ImageSize / float64(cfg.GridSize)
 	model := SkyModel{{L: 15 * pix, M: 10 * pix, I: 1}}
 	obs.FillFromModel(model)
-	grids, times, err := obs.GridWStacked(nil)
+	grids, times, err := obs.GridWStacked(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestWStackedFacadeRoundtrip(t *testing.T) {
 	}
 	// Degrid through the facade too.
 	modelImg := model.Rasterize(cfg.GridSize, obs.ImageSize)
-	if _, err := obs.DegridWStacked(nil, modelImg); err != nil {
+	if _, err := obs.DegridWStacked(context.Background(), nil, modelImg); err != nil {
 		t.Fatal(err)
 	}
 	if obs.Vis.Data[0][0] == (Matrix2{}) {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/aterm"
 	"repro/internal/clean"
+	"repro/internal/faulttol"
 	"repro/internal/grid"
 	"repro/internal/plan"
 	"repro/internal/sky"
@@ -30,6 +32,9 @@ type CycleConfig struct {
 	CycleDepth float64
 	// ATerms optionally provides the direction-dependent correction.
 	ATerms aterm.Provider
+	// FaultTolerance selects the per-item failure policy of the IDG
+	// passes inside the cycle; the zero value fails fast.
+	FaultTolerance faulttol.Config
 }
 
 // Validate checks the configuration.
@@ -56,13 +61,17 @@ type CycleResult struct {
 	MajorCycles int
 	// Times accumulates the IDG stage times over all rounds.
 	Times StageTimes
+	// Faults accumulates the degradation reports of all IDG passes.
+	Faults *faulttol.Report
 }
 
 // RunImagingCycle executes the Fig. 2 loop on the observation data in
 // vs, which is consumed (it holds the final residual visibilities on
 // return). The PSF must be the normalized Stokes I point spread
-// function of the observation.
-func (k *Kernels) RunImagingCycle(p *plan.Plan, vs *VisibilitySet, psf []float64, cfg CycleConfig) (*CycleResult, error) {
+// function of the observation. The context cancels the loop between
+// and inside IDG passes; cfg.FaultTolerance governs how item failures
+// inside those passes are handled.
+func (k *Kernels) RunImagingCycle(ctx context.Context, p *plan.Plan, vs *VisibilitySet, psf []float64, cfg CycleConfig) (*CycleResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -80,11 +89,15 @@ func (k *Kernels) RunImagingCycle(p *plan.Plan, vs *VisibilitySet, psf []float64
 	norm := float64(n*n) / float64(st.NrGriddedVisibilities)
 	corr := k.TaperCorrection(n)
 
-	res := &CycleResult{}
+	res := &CycleResult{Faults: faulttol.NewReport(cfg.FaultTolerance)}
 	for major := 0; major < cfg.MajorCycles; major++ {
+		if err := ctx.Err(); err != nil {
+			return nil, faulttol.Canceled(err)
+		}
 		// Image the residual visibilities.
 		g := grid.NewGrid(n)
-		t, err := k.GridVisibilities(p, vs, cfg.ATerms, g)
+		t, rep, err := k.GridVisibilitiesFT(ctx, p, vs, cfg.ATerms, g, cfg.FaultTolerance)
+		res.Faults.Merge(rep)
 		if err != nil {
 			return nil, err
 		}
@@ -123,8 +136,12 @@ func (k *Kernels) RunImagingCycle(p *plan.Plan, vs *VisibilitySet, psf []float64
 		res.Model = append(res.Model, newModel...)
 		modelImg := newModel.Rasterize(n, k.params.ImageSize)
 		mg := ImageToGrid(modelImg, k.params.workers())
-		predicted := NewVisibilitySet(vs.Baselines, vs.UVW, vs.NrChannels)
-		t, err = k.DegridVisibilities(p, predicted, cfg.ATerms, mg)
+		predicted, err := NewVisibilitySet(vs.Baselines, vs.UVW, vs.NrChannels)
+		if err != nil {
+			return nil, err
+		}
+		t, rep, err = k.DegridVisibilitiesFT(ctx, p, predicted, cfg.ATerms, mg, cfg.FaultTolerance)
+		res.Faults.Merge(rep)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestImagingCycleConverges(t *testing.T) {
 	s.fillFromModel(nil)
 	psf := cyclePSF(t, s)
 
-	res, err := s.kernels.RunImagingCycle(s.plan, s.vs, psf, CycleConfig{
+	res, err := s.kernels.RunImagingCycle(context.Background(), s.plan, s.vs, psf, CycleConfig{
 		MajorCycles: 3,
 		Clean:       clean.Params{Gain: 0.2, MaxIterations: 200, Threshold: 0.02},
 		CycleDepth:  0.3,
@@ -97,7 +98,7 @@ func TestImagingCycleStopsAtThreshold(t *testing.T) {
 	psf := cyclePSF(t, s)
 
 	// Absurdly high threshold: one cycle, no cleaning needed.
-	res, err := s.kernels.RunImagingCycle(s.plan, s.vs, psf, CycleConfig{
+	res, err := s.kernels.RunImagingCycle(context.Background(), s.plan, s.vs, psf, CycleConfig{
 		MajorCycles: 5,
 		Clean:       clean.Params{Gain: 0.2, MaxIterations: 10, Threshold: 100},
 		CycleDepth:  0.3,
@@ -128,12 +129,12 @@ func TestImagingCycleValidation(t *testing.T) {
 	psf := make([]float64, s.plan.GridSize*s.plan.GridSize)
 	psf[(s.plan.GridSize/2)*s.plan.GridSize+s.plan.GridSize/2] = 1
 	for i, cfg := range bad {
-		if _, err := s.kernels.RunImagingCycle(s.plan, s.vs, psf, cfg); err == nil {
+		if _, err := s.kernels.RunImagingCycle(context.Background(), s.plan, s.vs, psf, cfg); err == nil {
 			t.Fatalf("config %d should fail", i)
 		}
 	}
 	// Wrong PSF size.
-	if _, err := s.kernels.RunImagingCycle(s.plan, s.vs, psf[:10], good); err == nil {
+	if _, err := s.kernels.RunImagingCycle(context.Background(), s.plan, s.vs, psf[:10], good); err == nil {
 		t.Fatal("short PSF should fail")
 	}
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
+	"repro/internal/faulttol"
 	"repro/internal/grid"
 	"repro/internal/plan"
 	"repro/internal/uvwsim"
@@ -29,15 +31,22 @@ func (k *Kernels) GridSubgrid(item plan.WorkItem, uvw []uvwsim.UVW, vis []xmath.
 	k.gridSubgridBatched(item, uvw, vis, atermP, atermQ, out)
 }
 
+// checkItem validates a work item against its buffers. It panics with
+// errors wrapping faulttol.ErrBadInput so that the fault-tolerant
+// pipeline runner classifies the failure as deterministic bad input
+// (not retried) while direct kernel callers still crash loudly.
 func (k *Kernels) checkItem(item plan.WorkItem, uvw []uvwsim.UVW, vis []xmath.Matrix2) {
 	if len(uvw) != item.NrTimesteps {
-		panic("core: uvw length does not match work item")
+		panic(fmt.Errorf("%w: uvw length %d does not match work item (%d timesteps)",
+			faulttol.ErrBadInput, len(uvw), item.NrTimesteps))
 	}
 	if len(vis) != item.NrVisibilities() {
-		panic("core: visibility count does not match work item")
+		panic(fmt.Errorf("%w: visibility count %d does not match work item (%d)",
+			faulttol.ErrBadInput, len(vis), item.NrVisibilities()))
 	}
 	if item.Channel0 < 0 || item.Channel0+item.NrChannels > len(k.scale) {
-		panic("core: work item channel range out of bounds")
+		panic(fmt.Errorf("%w: work item channels [%d, %d) out of bounds (%d kernel channels)",
+			faulttol.ErrBadInput, item.Channel0, item.Channel0+item.NrChannels, len(k.scale)))
 	}
 }
 

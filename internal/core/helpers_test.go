@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -87,7 +88,7 @@ func buildScenario(tb testing.TB, sc scenarioConfig) *scenario {
 		tb.Fatal(err)
 	}
 
-	vs := NewVisibilitySet(sim.Baselines(), tracks, sc.nc)
+	vs := MustNewVisibilitySet(sim.Baselines(), tracks, sc.nc)
 
 	// Pixel-aligned sources well inside the field of view.
 	model := make(sky.Model, 0, sc.sources)
@@ -151,9 +152,9 @@ func (s *scenario) dirtyImage(tb testing.TB, prov interface {
 	g := grid.NewGrid(s.plan.GridSize)
 	var err error
 	if prov == nil {
-		_, err = s.kernels.GridVisibilities(s.plan, s.vs, nil, g)
+		_, err = s.kernels.GridVisibilities(context.Background(), s.plan, s.vs, nil, g)
 	} else {
-		_, err = s.kernels.GridVisibilities(s.plan, s.vs, prov, g)
+		_, err = s.kernels.GridVisibilities(context.Background(), s.plan, s.vs, prov, g)
 	}
 	if err != nil {
 		tb.Fatal(err)

@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/aterm"
+	"repro/internal/faulttol"
 	"repro/internal/grid"
 	"repro/internal/plan"
 	"repro/internal/uvwsim"
@@ -21,19 +25,29 @@ type VisibilitySet struct {
 	UVW [][]uvwsim.UVW
 	// Data holds the visibilities: Data[b][t*NrChannels + c].
 	Data [][]xmath.Matrix2
+	// Flags marks bad samples, parallel to Data; nil means nothing is
+	// flagged. Flagged samples are zero-weight: the gridder excludes
+	// them and the degridder predicts zeros for them, so corrupt
+	// samples degrade sensitivity instead of poisoning the grid.
+	Flags [][]bool
 	// NrTimesteps and NrChannels give the time/channel dimensions.
 	NrTimesteps, NrChannels int
 }
 
 // NewVisibilitySet allocates a zeroed visibility set for the given
 // baselines and dimensions. The uvw tracks must be filled by the
-// caller (typically from uvwsim).
-func NewVisibilitySet(baselines []uvwsim.Baseline, uvw [][]uvwsim.UVW, nrChannels int) *VisibilitySet {
+// caller (typically from uvwsim). Dimension mismatches return an
+// error wrapping faulttol.ErrBadInput.
+func NewVisibilitySet(baselines []uvwsim.Baseline, uvw [][]uvwsim.UVW, nrChannels int) (*VisibilitySet, error) {
 	if len(baselines) != len(uvw) {
-		panic("core: baseline/uvw length mismatch")
+		return nil, fmt.Errorf("%w: %d baselines but %d uvw tracks",
+			faulttol.ErrBadInput, len(baselines), len(uvw))
 	}
 	if len(uvw) == 0 || len(uvw[0]) == 0 {
-		panic("core: empty visibility set")
+		return nil, fmt.Errorf("%w: empty visibility set", faulttol.ErrBadInput)
+	}
+	if nrChannels < 1 {
+		return nil, fmt.Errorf("%w: %d channels", faulttol.ErrBadInput, nrChannels)
 	}
 	nt := len(uvw[0])
 	vs := &VisibilitySet{
@@ -45,9 +59,20 @@ func NewVisibilitySet(baselines []uvwsim.Baseline, uvw [][]uvwsim.UVW, nrChannel
 	}
 	for b := range vs.Data {
 		if len(uvw[b]) != nt {
-			panic("core: ragged uvw tracks")
+			return nil, fmt.Errorf("%w: ragged uvw tracks (baseline %d has %d steps, want %d)",
+				faulttol.ErrBadInput, b, len(uvw[b]), nt)
 		}
 		vs.Data[b] = make([]xmath.Matrix2, nt*nrChannels)
+	}
+	return vs, nil
+}
+
+// MustNewVisibilitySet is NewVisibilitySet for callers whose inputs
+// are correct by construction; it panics on error.
+func MustNewVisibilitySet(baselines []uvwsim.Baseline, uvw [][]uvwsim.UVW, nrChannels int) *VisibilitySet {
+	vs, err := NewVisibilitySet(baselines, uvw, nrChannels)
+	if err != nil {
+		panic(err)
 	}
 	return vs
 }
@@ -57,24 +82,88 @@ func (vs *VisibilitySet) NrVisibilities() int64 {
 	return int64(len(vs.Baselines)) * int64(vs.NrTimesteps) * int64(vs.NrChannels)
 }
 
+// EnsureFlags allocates the flag mask if it is still nil.
+func (vs *VisibilitySet) EnsureFlags() {
+	if vs.Flags != nil {
+		return
+	}
+	vs.Flags = make([][]bool, len(vs.Data))
+	for b := range vs.Flags {
+		vs.Flags[b] = make([]bool, len(vs.Data[b]))
+	}
+}
+
+// FlagSample flags the sample of baseline b at time step t, channel c.
+func (vs *VisibilitySet) FlagSample(b, t, c int) {
+	vs.EnsureFlags()
+	vs.Flags[b][t*vs.NrChannels+c] = true
+}
+
+// Flagged reports whether the sample at (b, t, c) is flagged.
+func (vs *VisibilitySet) Flagged(b, t, c int) bool {
+	return vs.Flags != nil && vs.Flags[b][t*vs.NrChannels+c]
+}
+
+// NrFlagged counts the flagged samples.
+func (vs *VisibilitySet) NrFlagged() int64 {
+	var n int64
+	for b := range vs.Flags {
+		for _, f := range vs.Flags[b] {
+			if f {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ClearFlags drops the flag mask.
+func (vs *VisibilitySet) ClearFlags() { vs.Flags = nil }
+
 // gather copies the visibilities covered by a work item into dst
-// (layout [t*item.NrChannels + c]).
+// (layout [t*item.NrChannels + c]), zeroing flagged samples so they
+// enter the gridder with zero weight.
 func (vs *VisibilitySet) gather(item plan.WorkItem, dst []xmath.Matrix2) {
 	src := vs.Data[item.Baseline]
+	var flags []bool
+	if vs.Flags != nil {
+		flags = vs.Flags[item.Baseline]
+	}
 	for t := 0; t < item.NrTimesteps; t++ {
 		row := (item.TimeStart + t) * vs.NrChannels
 		copy(dst[t*item.NrChannels:(t+1)*item.NrChannels],
 			src[row+item.Channel0:row+item.Channel0+item.NrChannels])
+		if flags == nil {
+			continue
+		}
+		for c := 0; c < item.NrChannels; c++ {
+			if flags[row+item.Channel0+c] {
+				dst[t*item.NrChannels+c] = xmath.Matrix2{}
+			}
+		}
 	}
 }
 
-// scatter writes predicted visibilities of a work item back.
+// scatter writes predicted visibilities of a work item back, storing
+// zeros for flagged samples (zero-weight on the degridding side).
 func (vs *VisibilitySet) scatter(item plan.WorkItem, src []xmath.Matrix2) {
 	dst := vs.Data[item.Baseline]
+	var flags []bool
+	if vs.Flags != nil {
+		flags = vs.Flags[item.Baseline]
+	}
 	for t := 0; t < item.NrTimesteps; t++ {
 		row := (item.TimeStart + t) * vs.NrChannels
 		copy(dst[row+item.Channel0:row+item.Channel0+item.NrChannels],
 			src[t*item.NrChannels:(t+1)*item.NrChannels])
+		if flags == nil {
+			continue
+		}
+		for c := 0; c < item.NrChannels; c++ {
+			if flags[row+item.Channel0+c] {
+				dst[row+item.Channel0+c] = xmath.Matrix2{}
+			}
+		}
 	}
 }
 
@@ -137,28 +226,55 @@ func (k *Kernels) atermMaps(items []plan.WorkItem, baselines []uvwsim.Baseline, 
 // GridVisibilities runs the full gridding pass of Fig. 4: gridder
 // kernel, subgrid FFTs, adder; group by group over the plan's work.
 // The grid is accumulated into (callers zero it first for a fresh
-// pass). It returns per-stage timings.
-func (k *Kernels) GridVisibilities(p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, g *grid.Grid) (StageTimes, error) {
+// pass). It returns per-stage timings. The context cancels or
+// deadline-bounds the run (the error then wraps faulttol.ErrCanceled);
+// item failures abort the run (fail-fast) — use GridVisibilitiesFT for
+// other policies.
+func (k *Kernels) GridVisibilities(ctx context.Context, p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, g *grid.Grid) (StageTimes, error) {
+	times, _, err := k.GridVisibilitiesFT(ctx, p, vs, prov, g, faulttol.Config{})
+	return times, err
+}
+
+// GridVisibilitiesFT is GridVisibilities under an explicit
+// fault-tolerance policy. A panicking kernel or a non-finite subgrid
+// becomes a typed per-item error instead of a crash; depending on
+// ft.Policy the item is retried, skipped (graceful degradation,
+// accounted in the returned report) or aborts the run. The report is
+// non-nil whenever the pipeline ran.
+func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, g *grid.Grid, ft faulttol.Config) (StageTimes, *faulttol.Report, error) {
 	var times StageTimes
+	rep := faulttol.NewReport(ft)
 	if err := k.checkPlan(p, vs); err != nil {
-		return times, err
+		return times, rep, err
 	}
 	for _, group := range p.WorkGroups(DefaultWorkGroupSize) {
+		if err := ctx.Err(); err != nil {
+			return times, rep, faulttol.Canceled(err)
+		}
 		maps := k.atermMaps(group, vs.Baselines, prov)
 		subgrids := make([]*grid.Subgrid, len(group))
 
 		start := time.Now()
-		k.forEachItem(len(group), func(i int) {
+		err := k.runItems(ctx, group, ft, rep, func(i int) error {
 			item := group[i]
 			sgr := grid.NewSubgrid(k.params.SubgridSize, item.X0, item.Y0)
 			vis := make([]xmath.Matrix2, item.NrVisibilities())
 			vs.gather(item, vis)
 			ap, aq := k.lookupATerms(maps, vs.Baselines, item)
 			k.GridSubgrid(item, vs.itemUVW(item), vis, ap, aq, sgr)
+			if !sgr.Finite() {
+				return fmt.Errorf("%w: non-finite subgrid (corrupt unflagged visibilities)",
+					faulttol.ErrBadInput)
+			}
 			subgrids[i] = sgr
+			return nil
 		})
 		times.Gridder += time.Since(start)
-
+		if err != nil {
+			return times, rep, err
+		}
+		// Under skip-and-flag, failed items leave nil subgrids that
+		// the FFT and adder stages pass over.
 		start = time.Now()
 		k.FFTSubgrids(subgrids)
 		times.SubgridFFT += time.Since(start)
@@ -167,18 +283,32 @@ func (k *Kernels) GridVisibilities(p *plan.Plan, vs *VisibilitySet, prov aterm.P
 		k.Adder(subgrids, g)
 		times.Adder += time.Since(start)
 	}
-	return times, nil
+	return times, rep, nil
 }
 
 // DegridVisibilities runs the full degridding pass of Fig. 4 in
 // reverse order: splitter, inverse subgrid FFTs, degridder kernel.
-// Predicted visibilities overwrite vs.Data.
-func (k *Kernels) DegridVisibilities(p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, g *grid.Grid) (StageTimes, error) {
+// Predicted visibilities overwrite vs.Data. The context cancels the
+// run; item failures abort it (fail-fast) — use DegridVisibilitiesFT
+// for other policies.
+func (k *Kernels) DegridVisibilities(ctx context.Context, p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, g *grid.Grid) (StageTimes, error) {
+	times, _, err := k.DegridVisibilitiesFT(ctx, p, vs, prov, g, faulttol.Config{})
+	return times, err
+}
+
+// DegridVisibilitiesFT is DegridVisibilities under an explicit
+// fault-tolerance policy; skipped items leave their visibility block
+// unwritten and are accounted in the returned report.
+func (k *Kernels) DegridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, g *grid.Grid, ft faulttol.Config) (StageTimes, *faulttol.Report, error) {
 	var times StageTimes
+	rep := faulttol.NewReport(ft)
 	if err := k.checkPlan(p, vs); err != nil {
-		return times, err
+		return times, rep, err
 	}
 	for _, group := range p.WorkGroups(DefaultWorkGroupSize) {
+		if err := ctx.Err(); err != nil {
+			return times, rep, faulttol.Canceled(err)
+		}
 		maps := k.atermMaps(group, vs.Baselines, prov)
 		subgrids := make([]*grid.Subgrid, len(group))
 		for i, item := range group {
@@ -196,16 +326,20 @@ func (k *Kernels) DegridVisibilities(p *plan.Plan, vs *VisibilitySet, prov aterm
 		times.SubgridFFT += time.Since(start)
 
 		start = time.Now()
-		k.forEachItem(len(group), func(i int) {
+		err := k.runItems(ctx, group, ft, rep, func(i int) error {
 			item := group[i]
 			vis := make([]xmath.Matrix2, item.NrVisibilities())
 			ap, aq := k.lookupATerms(maps, vs.Baselines, item)
 			k.DegridSubgrid(item, subgrids[i], vs.itemUVW(item), ap, aq, vis)
 			vs.scatter(item, vis)
+			return nil
 		})
 		times.Degridder += time.Since(start)
+		if err != nil {
+			return times, rep, err
+		}
 	}
-	return times, nil
+	return times, rep, nil
 }
 
 func (k *Kernels) lookupATerms(maps map[[2]int][]xmath.Matrix2, baselines []uvwsim.Baseline, item plan.WorkItem) (ap, aq []xmath.Matrix2) {
@@ -232,32 +366,108 @@ func (k *Kernels) checkPlan(p *plan.Plan, vs *VisibilitySet) error {
 	return nil
 }
 
-// forEachItem runs fn(i) for i in [0, n) on the worker pool.
-func (k *Kernels) forEachItem(n int, fn func(i int)) {
+// runItems executes fn(i) for every work item on the worker pool with
+// panic isolation, the configured failure policy, and cooperative
+// cancellation. A panic inside fn (or the injection hook) becomes an
+// ErrKernelPanic-wrapped ItemError; errors.Is(err, ErrBadInput)
+// failures are never retried. The returned error is nil, the first
+// fatal *faulttol.ItemError, or an ErrCanceled wrapper.
+func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faulttol.Config, rep *faulttol.Report, fn func(i int) error) error {
+	n := len(items)
+	if n == 0 {
+		return ctxErr(ctx)
+	}
+	attempts := ft.Attempts()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	runOne := func(i int) {
+		item := items[i]
+		var err error
+		made := 0
+		for a := 1; a <= attempts; a++ {
+			if runCtx.Err() != nil {
+				return
+			}
+			made = a
+			err = faulttol.Run(func() error {
+				if ft.Hook != nil {
+					ft.Hook(item, a)
+				}
+				return fn(i)
+			})
+			if err == nil {
+				rep.RecordSuccess(a > 1)
+				return
+			}
+			if errors.Is(err, faulttol.ErrBadInput) {
+				break
+			}
+		}
+		ie := &faulttol.ItemError{
+			Baseline:  item.Baseline,
+			TimeStart: item.TimeStart,
+			Channel0:  item.Channel0,
+			Attempts:  made,
+			Err:       err,
+		}
+		if ft.Policy == faulttol.SkipAndFlag {
+			rep.RecordSkip(ie, int64(item.NrVisibilities()))
+			return
+		}
+		fail(ie)
+	}
+
 	workers := k.params.workers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int, n)
-	for i := 0; i < n; i++ {
-		ch <- i
-	}
-	close(ch)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				fn(i)
+			if runCtx.Err() != nil {
+				break
 			}
-		}()
+			runOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		var next int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for runCtx.Err() == nil {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= n {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctxErr(ctx)
+}
+
+// ctxErr converts a context error into the faulttol taxonomy.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return faulttol.Canceled(err)
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestDegriddingMatchesMeasurementEquation(t *testing.T) {
 	img := s.model.Rasterize(s.plan.GridSize, s.plan.ImageSize)
 	g := ImageToGrid(img, 0)
 
-	if _, err := s.kernels.DegridVisibilities(s.plan, s.vs, nil, g); err != nil {
+	if _, err := s.kernels.DegridVisibilities(context.Background(), s.plan, s.vs, nil, g); err != nil {
 		t.Fatal(err)
 	}
 
@@ -114,7 +115,7 @@ func TestGridderDegridderAdjoint(t *testing.T) {
 
 	// <G(v), g>
 	gv := grid.NewGrid(s.plan.GridSize)
-	if _, err := s.kernels.GridVisibilities(s.plan, s.vs, nil, gv); err != nil {
+	if _, err := s.kernels.GridVisibilities(context.Background(), s.plan, s.vs, nil, gv); err != nil {
 		t.Fatal(err)
 	}
 	var lhs complex128
@@ -125,8 +126,8 @@ func TestGridderDegridderAdjoint(t *testing.T) {
 	}
 
 	// <v, D(g)>
-	vsOut := NewVisibilitySet(s.vs.Baselines, s.vs.UVW, s.vs.NrChannels)
-	if _, err := s.kernels.DegridVisibilities(s.plan, vsOut, nil, g); err != nil {
+	vsOut := MustNewVisibilitySet(s.vs.Baselines, s.vs.UVW, s.vs.NrChannels)
+	if _, err := s.kernels.DegridVisibilities(context.Background(), s.plan, vsOut, nil, g); err != nil {
 		t.Fatal(err)
 	}
 	var rhs complex128
@@ -152,11 +153,11 @@ func TestIdentityATermsMatchNilFastPath(t *testing.T) {
 	s.fillFromModel(nil)
 
 	g1 := grid.NewGrid(s.plan.GridSize)
-	if _, err := s.kernels.GridVisibilities(s.plan, s.vs, nil, g1); err != nil {
+	if _, err := s.kernels.GridVisibilities(context.Background(), s.plan, s.vs, nil, g1); err != nil {
 		t.Fatal(err)
 	}
 	g2 := grid.NewGrid(s.plan.GridSize)
-	if _, err := s.kernels.GridVisibilities(s.plan, s.vs, aterm.Identity{}, g2); err != nil {
+	if _, err := s.kernels.GridVisibilities(context.Background(), s.plan, s.vs, aterm.Identity{}, g2); err != nil {
 		t.Fatal(err)
 	}
 	if d := g1.MaxAbsDiff(g2); d > 1e-9 {
@@ -215,11 +216,11 @@ func TestBatchedKernelsMatchReference(t *testing.T) {
 	}
 
 	g1 := grid.NewGrid(s.plan.GridSize)
-	if _, err := s.kernels.GridVisibilities(s.plan, s.vs, nil, g1); err != nil {
+	if _, err := s.kernels.GridVisibilities(context.Background(), s.plan, s.vs, nil, g1); err != nil {
 		t.Fatal(err)
 	}
 	g2 := grid.NewGrid(s.plan.GridSize)
-	if _, err := ref.GridVisibilities(s.plan, s.vs, nil, g2); err != nil {
+	if _, err := ref.GridVisibilities(context.Background(), s.plan, s.vs, nil, g2); err != nil {
 		t.Fatal(err)
 	}
 	scale := math.Sqrt(g1.Norm2() / float64(g1.N*g1.N))
@@ -230,12 +231,12 @@ func TestBatchedKernelsMatchReference(t *testing.T) {
 	// Degridding comparison.
 	img := s.model.Rasterize(s.plan.GridSize, s.plan.ImageSize)
 	g := ImageToGrid(img, 0)
-	v1 := NewVisibilitySet(s.vs.Baselines, s.vs.UVW, s.vs.NrChannels)
-	v2 := NewVisibilitySet(s.vs.Baselines, s.vs.UVW, s.vs.NrChannels)
-	if _, err := s.kernels.DegridVisibilities(s.plan, v1, nil, g); err != nil {
+	v1 := MustNewVisibilitySet(s.vs.Baselines, s.vs.UVW, s.vs.NrChannels)
+	v2 := MustNewVisibilitySet(s.vs.Baselines, s.vs.UVW, s.vs.NrChannels)
+	if _, err := s.kernels.DegridVisibilities(context.Background(), s.plan, v1, nil, g); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ref.DegridVisibilities(s.plan, v2, nil, g); err != nil {
+	if _, err := ref.DegridVisibilities(context.Background(), s.plan, v2, nil, g); err != nil {
 		t.Fatal(err)
 	}
 	var maxD float64
@@ -260,7 +261,7 @@ func TestStageTimesAccounted(t *testing.T) {
 	s := buildScenario(t, sc)
 	s.fillFromModel(nil)
 	g := grid.NewGrid(s.plan.GridSize)
-	times, err := s.kernels.GridVisibilities(s.plan, s.vs, nil, g)
+	times, err := s.kernels.GridVisibilities(context.Background(), s.plan, s.vs, nil, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestPipelineParameterMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := grid.NewGrid(s.plan.GridSize * 2)
-	if _, err := other.GridVisibilities(s.plan, s.vs, nil, g); err == nil {
+	if _, err := other.GridVisibilities(context.Background(), s.plan, s.vs, nil, g); err == nil {
 		t.Fatal("expected grid-size mismatch error")
 	}
 }

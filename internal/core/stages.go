@@ -46,14 +46,19 @@ func (k *Kernels) transformSubgrids(subgrids []*grid.Subgrid, inverse bool) {
 	}
 	if workers <= 1 {
 		for _, s := range subgrids {
-			transform(s)
+			if s != nil {
+				transform(s)
+			}
 		}
 		return
 	}
 	var wg sync.WaitGroup
 	ch := make(chan *grid.Subgrid, len(subgrids))
 	for _, s := range subgrids {
-		ch <- s
+		// Skipped (nil) subgrids of a degraded run carry no data.
+		if s != nil {
+			ch <- s
+		}
 	}
 	close(ch)
 	for w := 0; w < workers; w++ {
@@ -84,6 +89,9 @@ func (k *Kernels) Adder(subgrids []*grid.Subgrid, g *grid.Grid) {
 	}
 	addBand := func(rowLo, rowHi int) {
 		for _, s := range subgrids {
+			if s == nil {
+				continue
+			}
 			if !s.InBounds(g.N) {
 				panic("core: subgrid outside grid")
 			}
@@ -138,6 +146,9 @@ func (k *Kernels) Splitter(g *grid.Grid, subgrids []*grid.Subgrid) {
 		panic("core: grid size does not match kernel parameters")
 	}
 	split := func(s *grid.Subgrid) {
+		if s == nil {
+			return
+		}
 		if !s.InBounds(g.N) {
 			panic("core: subgrid outside grid")
 		}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/aterm"
+	"repro/internal/faulttol"
 	"repro/internal/grid"
 	"repro/internal/plan"
 )
@@ -45,15 +47,18 @@ func WPlanes(p *plan.Plan) []int {
 // GridVisibilitiesWStacked grids each W-layer onto its own grid and
 // returns the per-plane grids keyed by plane index, along with the
 // accumulated stage times.
-func (k *Kernels) GridVisibilitiesWStacked(p *plan.Plan, vs *VisibilitySet, prov aterm.Provider) (map[int]*grid.Grid, StageTimes, error) {
+func (k *Kernels) GridVisibilitiesWStacked(ctx context.Context, p *plan.Plan, vs *VisibilitySet, prov aterm.Provider) (map[int]*grid.Grid, StageTimes, error) {
 	var times StageTimes
 	if p.WStepLambda <= 0 {
 		return nil, times, fmt.Errorf("core: plan has no W-layers (WStepLambda=%g)", p.WStepLambda)
 	}
 	grids := make(map[int]*grid.Grid)
 	for _, w := range WPlanes(p) {
+		if err := ctx.Err(); err != nil {
+			return nil, times, faulttol.Canceled(err)
+		}
 		g := grid.NewGrid(k.params.GridSize)
-		t, err := k.GridVisibilities(planForPlane(p, w), vs, prov, g)
+		t, err := k.GridVisibilities(ctx, planForPlane(p, w), vs, prov, g)
 		if err != nil {
 			return nil, times, err
 		}
@@ -79,16 +84,19 @@ func (k *Kernels) CombineWStackedImage(grids map[int]*grid.Grid, wstep float64) 
 // using W-stacking: for every W-layer the image is multiplied by the
 // conjugate w screen, transformed to a grid, and the layer's work
 // items are degridded from it.
-func (k *Kernels) DegridVisibilitiesWStacked(p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, img *grid.Grid) (StageTimes, error) {
+func (k *Kernels) DegridVisibilitiesWStacked(ctx context.Context, p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, img *grid.Grid) (StageTimes, error) {
 	var times StageTimes
 	if p.WStepLambda <= 0 {
 		return times, fmt.Errorf("core: plan has no W-layers (WStepLambda=%g)", p.WStepLambda)
 	}
 	for _, w := range WPlanes(p) {
+		if err := ctx.Err(); err != nil {
+			return times, faulttol.Canceled(err)
+		}
 		layer := img.Clone()
 		ApplyWScreen(layer, k.params.ImageSize, float64(w)*p.WStepLambda, -1)
 		g := ImageToGrid(layer, k.params.workers())
-		t, err := k.DegridVisibilities(planForPlane(p, w), vs, prov, g)
+		t, err := k.DegridVisibilities(ctx, planForPlane(p, w), vs, prov, g)
 		if err != nil {
 			return times, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/grid"
@@ -68,7 +69,7 @@ func highWScenario(tb testing.TB, wstep float64) (*plan.Plan, *Kernels, *Visibil
 	if err != nil {
 		tb.Fatal(err)
 	}
-	vs := NewVisibilitySet(baselines, tracks, 1)
+	vs := MustNewVisibilitySet(baselines, tracks, 1)
 	pix := imageSize / gridSize
 	model := sky.Model{{L: 18 * pix, M: -10 * pix, I: 1}}
 	return p, k, vs, model
@@ -82,10 +83,10 @@ func degridError(tb testing.TB, p *plan.Plan, k *Kernels, vs *VisibilitySet, mod
 	img := model.Rasterize(p.GridSize, p.ImageSize)
 	var err error
 	if stacked {
-		_, err = k.DegridVisibilitiesWStacked(p, vs, nil, img)
+		_, err = k.DegridVisibilitiesWStacked(context.Background(), p, vs, nil, img)
 	} else {
 		g := ImageToGrid(img, 0)
-		_, err = k.DegridVisibilities(p, vs, nil, g)
+		_, err = k.DegridVisibilities(context.Background(), p, vs, nil, g)
 	}
 	if err != nil {
 		tb.Fatal(err)
@@ -135,7 +136,7 @@ func TestWStackedGriddingRecoversSource(t *testing.T) {
 			vs.Data[b][tt] = model.Predict(sc.U, sc.V, sc.W)
 		}
 	}
-	grids, _, err := k.GridVisibilitiesWStacked(p, vs, nil)
+	grids, _, err := k.GridVisibilitiesWStacked(context.Background(), p, vs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +159,11 @@ func TestWStackedGriddingRecoversSource(t *testing.T) {
 
 func TestWStackRejectsPlainPlan(t *testing.T) {
 	p, k, vs, _ := highWScenario(t, 0)
-	if _, _, err := k.GridVisibilitiesWStacked(p, vs, nil); err == nil {
+	if _, _, err := k.GridVisibilitiesWStacked(context.Background(), p, vs, nil); err == nil {
 		t.Fatal("expected error for plan without w-layers")
 	}
 	img := grid.NewGrid(p.GridSize)
-	if _, err := k.DegridVisibilitiesWStacked(p, vs, nil, img); err == nil {
+	if _, err := k.DegridVisibilitiesWStacked(context.Background(), p, vs, nil, img); err == nil {
 		t.Fatal("expected error for plan without w-layers")
 	}
 }

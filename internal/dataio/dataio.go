@@ -116,10 +116,21 @@ func (rd *reader) header() (Header, error) {
 	if err := rd.read(&dims); err != nil {
 		return h, err
 	}
-	const limit = 1 << 40
-	if dims[0] < 1 || dims[1] < 1 || dims[2] < 1 ||
-		dims[0]*dims[1]*dims[2] > limit {
-		return h, fmt.Errorf("dataio: implausible dimensions %v", dims)
+	// Bound every dimension individually and in product before any
+	// allocation happens, so a corrupt header is rejected with a
+	// descriptive error instead of an attempted multi-terabyte
+	// allocation. The caps comfortably cover the paper's full
+	// benchmark (11175 baselines x 8192 steps x 16 channels).
+	switch {
+	case dims[0] < 1 || dims[0] > maxBaselines:
+		return h, fmt.Errorf("dataio: implausible baseline count %d (max %d)", dims[0], int64(maxBaselines))
+	case dims[1] < 1 || dims[1] > maxTimesteps:
+		return h, fmt.Errorf("dataio: implausible timestep count %d (max %d)", dims[1], int64(maxTimesteps))
+	case dims[2] < 1 || dims[2] > maxChannels:
+		return h, fmt.Errorf("dataio: implausible channel count %d (max %d)", dims[2], int64(maxChannels))
+	case dims[0]*dims[1]*dims[2] > maxSamples:
+		return h, fmt.Errorf("dataio: implausible dimensions %v (%d samples > max %d)",
+			dims, dims[0]*dims[1]*dims[2], int64(maxSamples))
 	}
 	h.NrBaselines = int(dims[0])
 	h.NrTimesteps = int(dims[1])
@@ -129,12 +140,23 @@ func (rd *reader) header() (Header, error) {
 		return h, err
 	}
 	for i, f := range h.Frequencies {
-		if f <= 0 || math.IsNaN(f) {
+		if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) {
 			return h, fmt.Errorf("dataio: bad frequency %d: %g", i, f)
 		}
 	}
 	return h, nil
 }
+
+// Header plausibility bounds; crossing any of them means the file is
+// corrupt (or from a far larger instrument than this format targets).
+const (
+	maxBaselines = 1 << 24 // ~16.7M baselines (> 5000 stations)
+	maxTimesteps = 1 << 26 // ~67M steps (> 2 years at 1 s)
+	maxChannels  = 1 << 16
+	// maxSamples bounds the total visibility allocation (64 bytes per
+	// sample => at most 128 GiB, the scale of the paper's full set).
+	maxSamples = 1 << 31
+)
 
 // Read decodes a stored observation, verifying the checksum.
 func Read(r io.Reader) (*core.VisibilitySet, []float64, error) {
@@ -147,27 +169,35 @@ func Read(r io.Reader) (*core.VisibilitySet, []float64, error) {
 	for i := range baselines {
 		var pq [2]int32
 		if err := rd.read(&pq); err != nil {
-			return nil, nil, err
+			return nil, nil, fmt.Errorf("dataio: reading baseline %d: %w", i, err)
+		}
+		if pq[0] < 0 || pq[1] < 0 {
+			return nil, nil, fmt.Errorf("dataio: baseline %d has negative stations (%d, %d)", i, pq[0], pq[1])
 		}
 		baselines[i] = uvwsim.Baseline{P: int(pq[0]), Q: int(pq[1])}
 	}
+	// Allocate track by track so a truncated file fails on its first
+	// short read instead of after the full up-front allocation.
 	uvw := make([][]uvwsim.UVW, h.NrBaselines)
 	for b := range uvw {
 		uvw[b] = make([]uvwsim.UVW, h.NrTimesteps)
 		for t := range uvw[b] {
 			var c [3]float64
 			if err := rd.read(&c); err != nil {
-				return nil, nil, err
+				return nil, nil, fmt.Errorf("dataio: reading uvw of baseline %d: %w", b, err)
 			}
 			uvw[b][t] = uvwsim.UVW{U: c[0], V: c[1], W: c[2]}
 		}
 	}
-	vs := core.NewVisibilitySet(baselines, uvw, h.NrChannels)
+	vs, err := core.NewVisibilitySet(baselines, uvw, h.NrChannels)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataio: %w", err)
+	}
 	buf := make([]float32, 8)
 	for b := range vs.Data {
 		for i := range vs.Data[b] {
 			if err := rd.read(&buf); err != nil {
-				return nil, nil, err
+				return nil, nil, fmt.Errorf("dataio: reading visibilities of baseline %d: %w", b, err)
 			}
 			var m xmath.Matrix2
 			for p := 0; p < 4; p++ {

@@ -26,7 +26,7 @@ func sampleSet(t *testing.T) (*core.VisibilitySet, []float64) {
 			uvw[b][i] = uvwsim.UVW{U: 1e4 * next(), V: 1e4 * next(), W: 1e3 * next()}
 		}
 	}
-	vs := core.NewVisibilitySet(baselines, uvw, nc)
+	vs := core.MustNewVisibilitySet(baselines, uvw, nc)
 	for b := range vs.Data {
 		for i := range vs.Data[b] {
 			for p := 0; p < 4; p++ {

@@ -1,0 +1,182 @@
+package faulttol
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+func TestPolicyStringRoundtrip(t *testing.T) {
+	for _, p := range []Policy{FailFast, Retry, SkipAndFlag} {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := ParsePolicy("explode"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if s := Policy(99).String(); !strings.Contains(s, "99") {
+		t.Fatalf("unknown policy String() = %q", s)
+	}
+}
+
+func TestConfigAttempts(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want int
+	}{
+		{Config{Policy: FailFast}, 1},
+		{Config{Policy: Retry}, 2},
+		{Config{Policy: Retry, MaxRetries: 3}, 4},
+		{Config{Policy: SkipAndFlag}, 1},
+		{Config{Policy: SkipAndFlag, MaxRetries: 2}, 3},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Attempts(); got != c.want {
+			t.Errorf("%+v: Attempts() = %d, want %d", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestRunPassesThroughResults(t *testing.T) {
+	if err := Run(func() error { return nil }); err != nil {
+		t.Fatalf("nil-returning fn: %v", err)
+	}
+	sentinel := errors.New("boom")
+	if err := Run(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("error-returning fn: %v", err)
+	}
+}
+
+func TestRunConvertsPanicToKernelPanic(t *testing.T) {
+	err := Run(func() error { panic("index out of range") })
+	if !errors.Is(err, ErrKernelPanic) {
+		t.Fatalf("panic not classified as kernel panic: %v", err)
+	}
+	if errors.Is(err, ErrBadInput) {
+		t.Fatalf("plain panic classified as bad input: %v", err)
+	}
+	if !strings.Contains(err.Error(), "index out of range") {
+		t.Fatalf("panic value lost: %v", err)
+	}
+}
+
+func TestRunPreservesBadInputPanics(t *testing.T) {
+	cause := fmt.Errorf("%w: mismatched buffers", ErrBadInput)
+	err := Run(func() error { panic(cause) })
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad-input panic not typed: %v", err)
+	}
+	if errors.Is(err, ErrKernelPanic) {
+		t.Fatalf("bad-input panic double-classified as kernel panic: %v", err)
+	}
+}
+
+func TestCanceledWrapsBothSentinels(t *testing.T) {
+	err := Canceled(context.DeadlineExceeded)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("not ErrCanceled: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("context sentinel lost: %v", err)
+	}
+	if !errors.Is(Canceled(nil), ErrCanceled) {
+		t.Fatal("Canceled(nil) not ErrCanceled")
+	}
+}
+
+func TestItemErrorFormatsAndUnwraps(t *testing.T) {
+	ie := &ItemError{Baseline: 7, TimeStart: 32, Channel0: 2, Attempts: 3,
+		Err: fmt.Errorf("%w: oops", ErrKernelPanic)}
+	if !errors.Is(ie, ErrKernelPanic) {
+		t.Fatalf("ItemError does not unwrap to cause: %v", ie)
+	}
+	msg := ie.Error()
+	for _, want := range []string{"baseline 7", "t0 32", "ch0 2", "3 attempt"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestReportAccounting(t *testing.T) {
+	r := NewReport(Config{MaxErrors: 2})
+	r.RecordSuccess(false)
+	r.RecordSuccess(true)
+	for i := 0; i < 4; i++ {
+		r.RecordSkip(&ItemError{Baseline: i, Err: ErrKernelPanic}, 100)
+	}
+	if r.ItemsProcessed != 2 || r.ItemsRetried != 1 {
+		t.Fatalf("success counts: %+v", r)
+	}
+	if r.ItemsSkipped != 4 || r.DroppedVisibilities != 400 {
+		t.Fatalf("skip counts: %+v", r)
+	}
+	if len(r.ItemErrors) != 2 {
+		t.Fatalf("error sample not bounded: %d", len(r.ItemErrors))
+	}
+	if !r.Degraded() {
+		t.Fatal("report with skips not Degraded")
+	}
+	s := r.String()
+	if !strings.Contains(s, "4 skipped") || !strings.Contains(s, "400 visibilities") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestReportMerge(t *testing.T) {
+	a := NewReport(Config{})
+	a.RecordSuccess(false)
+	b := NewReport(Config{})
+	b.RecordSuccess(true)
+	b.RecordSkip(&ItemError{Err: ErrKernelPanic}, 64)
+	a.Merge(b)
+	a.Merge(nil)
+	if a.ItemsProcessed != 2 || a.ItemsRetried != 1 || a.ItemsSkipped != 1 || a.DroppedVisibilities != 64 {
+		t.Fatalf("merge result: %+v", a)
+	}
+	if len(a.ItemErrors) != 1 {
+		t.Fatalf("merged error sample: %d", len(a.ItemErrors))
+	}
+}
+
+// TestReportConcurrentUse exercises the report from many goroutines;
+// meaningful under -race.
+func TestReportConcurrentUse(t *testing.T) {
+	r := NewReport(Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.RecordSuccess(i%2 == 0)
+				r.RecordSkip(&ItemError{Err: ErrKernelPanic}, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.ItemsProcessed != 800 || r.ItemsSkipped != 800 || r.DroppedVisibilities != 800 {
+		t.Fatalf("concurrent counts off: %+v", r)
+	}
+}
+
+func TestHookReceivesItemAndAttempt(t *testing.T) {
+	var got []int
+	cfg := Config{Hook: func(item plan.WorkItem, attempt int) {
+		got = append(got, item.Baseline, attempt)
+	}}
+	cfg.Hook(plan.WorkItem{Baseline: 5}, 1)
+	if len(got) != 2 || got[0] != 5 || got[1] != 1 {
+		t.Fatalf("hook args: %v", got)
+	}
+}

@@ -1,0 +1,126 @@
+package flagging
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/uvwsim"
+	"repro/internal/xmath"
+)
+
+func testSet(t *testing.T) *core.VisibilitySet {
+	t.Helper()
+	baselines := []uvwsim.Baseline{{P: 0, Q: 1}, {P: 0, Q: 2}}
+	const nt, nc = 4, 3
+	uvw := make([][]uvwsim.UVW, len(baselines))
+	for b := range uvw {
+		uvw[b] = make([]uvwsim.UVW, nt)
+	}
+	vs := core.MustNewVisibilitySet(baselines, uvw, nc)
+	for b := range vs.Data {
+		for i := range vs.Data[b] {
+			for p := 0; p < 4; p++ {
+				vs.Data[b][i][p] = complex(1, -1)
+			}
+		}
+	}
+	return vs
+}
+
+func TestSampleFinite(t *testing.T) {
+	ok := xmath.Matrix2{1, 2i, -3, complex(4, -5)}
+	if !SampleFinite(ok) {
+		t.Fatal("finite sample reported non-finite")
+	}
+	for p := 0; p < 4; p++ {
+		for _, bad := range []complex128{
+			complex(math.NaN(), 0), complex(0, math.NaN()),
+			complex(math.Inf(1), 0), complex(0, math.Inf(-1)),
+		} {
+			m := ok
+			m[p] = bad
+			if SampleFinite(m) {
+				t.Fatalf("corrupt component %d (%v) reported finite", p, bad)
+			}
+		}
+	}
+}
+
+func TestApplyFlagsNonFiniteAndClipped(t *testing.T) {
+	vs := testSet(t)
+	vs.Data[0][2][1] = complex(math.NaN(), 0)
+	vs.Data[1][5][3] = complex(0, math.Inf(1))
+	vs.Data[1][7][0] = complex(1e6, 0) // clipped, finite
+
+	st := Apply(vs, Config{NonFinite: true, MaxAmplitude: 100})
+	if st.NonFinite != 2 || st.Clipped != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Flagged != 3 || st.NewlyFlagged() != 3 {
+		t.Fatalf("totals: %+v", st)
+	}
+	if st.Total != vs.NrVisibilities() {
+		t.Fatalf("Total = %d, want %d", st.Total, vs.NrVisibilities())
+	}
+	nc := vs.NrChannels
+	for _, want := range [][3]int{{0, 2 / nc, 2 % nc}, {1, 5 / nc, 5 % nc}, {1, 7 / nc, 7 % nc}} {
+		if !vs.Flagged(want[0], want[1], want[2]) {
+			t.Fatalf("sample %v not flagged", want)
+		}
+	}
+	if vs.NrFlagged() != 3 {
+		t.Fatalf("NrFlagged = %d", vs.NrFlagged())
+	}
+}
+
+// A sample failing both detectors counts once, as NonFinite.
+func TestApplyDetectorPrecedence(t *testing.T) {
+	vs := testSet(t)
+	vs.Data[0][0][0] = complex(math.Inf(1), 0)
+	st := Apply(vs, Config{NonFinite: true, MaxAmplitude: 1})
+	if st.NonFinite != 1 {
+		t.Fatalf("NonFinite = %d", st.NonFinite)
+	}
+	// Every remaining sample has amplitude sqrt(2) > 1.
+	if want := vs.NrVisibilities() - 1; st.Clipped != want {
+		t.Fatalf("Clipped = %d, want %d", st.Clipped, want)
+	}
+}
+
+func TestApplyIsIdempotent(t *testing.T) {
+	vs := testSet(t)
+	vs.Data[0][1][2] = complex(math.NaN(), math.NaN())
+	cfg := DefaultConfig()
+	first := Apply(vs, cfg)
+	second := Apply(vs, cfg)
+	if first.NewlyFlagged() != 1 {
+		t.Fatalf("first pass flagged %d", first.NewlyFlagged())
+	}
+	if second.NewlyFlagged() != 0 {
+		t.Fatalf("second pass re-flagged %d samples", second.NewlyFlagged())
+	}
+	if second.Flagged != 1 {
+		t.Fatalf("second pass total %d", second.Flagged)
+	}
+}
+
+func TestDisabledDetectorsAllocateNoFlags(t *testing.T) {
+	vs := testSet(t)
+	st := Apply(vs, Config{})
+	if st.NewlyFlagged() != 0 || vs.Flags != nil {
+		t.Fatalf("disabled pass mutated the set: %+v, flags %v", st, vs.Flags != nil)
+	}
+}
+
+func TestConvenienceWrappers(t *testing.T) {
+	vs := testSet(t)
+	vs.Data[0][0][0] = complex(math.NaN(), 0)
+	if n := FlagNonFinite(vs); n != 1 {
+		t.Fatalf("FlagNonFinite = %d", n)
+	}
+	vs2 := testSet(t)
+	if n := FlagAmplitude(vs2, 1); n != vs2.NrVisibilities() {
+		t.Fatalf("FlagAmplitude = %d", n)
+	}
+}

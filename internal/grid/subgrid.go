@@ -74,6 +74,24 @@ func (s *Subgrid) Clone() *Subgrid {
 	return out
 }
 
+// Finite reports whether every pixel of every correlation plane is
+// finite (no NaN or Inf component). The pipelines use it to detect
+// work items poisoned by corrupt, unflagged visibilities before the
+// subgrid reaches the shared grid.
+func (s *Subgrid) Finite() bool {
+	for c := range s.Data {
+		for _, v := range s.Data[c] {
+			re, im := real(v), imag(v)
+			// NaN fails every comparison; the subtraction turns
+			// +/-Inf into NaN as well.
+			if re-re != 0 || im-im != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // InBounds reports whether the subgrid lies entirely inside a grid of
 // size n x n.
 func (s *Subgrid) InBounds(n int) bool {

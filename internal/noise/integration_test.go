@@ -1,6 +1,7 @@
 package noise
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -38,12 +39,12 @@ func imageNoiseRMS(t *testing.T, nt int, seed int64) float64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vs := core.NewVisibilitySet(sim.Baselines(), tracks, len(freqs))
+	vs := core.MustNewVisibilitySet(sim.Baselines(), tracks, len(freqs))
 	if err := AddGaussian(vs, 1.0, seed); err != nil {
 		t.Fatal(err)
 	}
 	g := grid.NewGrid(gridSize)
-	if _, err := k.GridVisibilities(p, vs, nil, g); err != nil {
+	if _, err := k.GridVisibilities(context.Background(), p, vs, nil, g); err != nil {
 		t.Fatal(err)
 	}
 	img := core.GridToImage(g, 0)

@@ -15,7 +15,7 @@ func emptySet(nb, nt, nc int) *core.VisibilitySet {
 		baselines[b] = uvwsim.Baseline{P: 0, Q: b + 1}
 		uvw[b] = make([]uvwsim.UVW, nt)
 	}
-	return core.NewVisibilitySet(baselines, uvw, nc)
+	return core.MustNewVisibilitySet(baselines, uvw, nc)
 }
 
 func TestGaussianStatistics(t *testing.T) {

@@ -1,6 +1,7 @@
 package weight
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -112,7 +113,7 @@ func TestApplyScalesVisibilitiesAndReturnsTotal(t *testing.T) {
 	cfg := layout.SKA1LowConfig()
 	cfg.NrStations = 12
 	sim := uvwsim.New(layout.Generate(cfg), uvwsim.DefaultOptions())
-	vs := core.NewVisibilitySet(sim.Baselines(), tracks, len(freqs))
+	vs := core.MustNewVisibilitySet(sim.Baselines(), tracks, len(freqs))
 	for b := range vs.Data {
 		for i := range vs.Data[b] {
 			vs.Data[b][i][0] = 1
@@ -139,7 +140,7 @@ func TestMeanWeightConsistent(t *testing.T) {
 	cfg := layout.SKA1LowConfig()
 	cfg.NrStations = 12
 	sim := uvwsim.New(layout.Generate(cfg), uvwsim.DefaultOptions())
-	vs := core.NewVisibilitySet(sim.Baselines(), tracks, len(freqs))
+	vs := core.MustNewVisibilitySet(sim.Baselines(), tracks, len(freqs))
 	mean := MeanWeight(vs, w, freqs)
 	if mean <= 0 || mean > 1 {
 		t.Fatalf("mean uniform weight %g out of range", mean)
@@ -188,7 +189,7 @@ func TestUniformWeightingSharpensPSF(t *testing.T) {
 	_ = pcfg
 
 	psf := func(scheme Scheme) []float64 {
-		vs := core.NewVisibilitySet(baselines, tracks, len(freqs))
+		vs := core.MustNewVisibilitySet(baselines, tracks, len(freqs))
 		for b := range vs.Data {
 			for i := range vs.Data[b] {
 				vs.Data[b][i] = [4]complex128{1, 0, 0, 1}
@@ -205,7 +206,7 @@ func TestUniformWeightingSharpensPSF(t *testing.T) {
 			t.Fatal(err)
 		}
 		g := coreNewGrid(gridSize)
-		if _, err := kernels.GridVisibilities(p, vs, nil, g); err != nil {
+		if _, err := kernels.GridVisibilities(context.Background(), p, vs, nil, g); err != nil {
 			t.Fatal(err)
 		}
 		img := core.GridToImage(g, 0)

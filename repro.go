@@ -15,6 +15,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/aterm"
@@ -269,24 +270,33 @@ func (c ObservationConfig) Build() (*Observation, error) {
 	if err != nil {
 		return nil, err
 	}
-	obs.AllocateVisibilities()
+	if err := obs.AllocateVisibilities(); err != nil {
+		return nil, err
+	}
 	return obs, nil
 }
 
 // AllocateVisibilities materializes the uvw tracks and zeroed
 // visibility storage.
-func (o *Observation) AllocateVisibilities() {
+func (o *Observation) AllocateVisibilities() error {
 	if o.Vis != nil {
-		return
+		return nil
 	}
 	tracks := o.Simulator.AllTracks(o.Config.NrTimesteps)
-	o.Vis = core.NewVisibilitySet(o.Simulator.Baselines(), tracks, o.Config.NrChannels)
+	vs, err := core.NewVisibilitySet(o.Simulator.Baselines(), tracks, o.Config.NrChannels)
+	if err != nil {
+		return err
+	}
+	o.Vis = vs
+	return nil
 }
 
 // FillFromModel fills the visibilities with exact direct predictions
 // of a point-source model (the ground-truth workload generator).
-func (o *Observation) FillFromModel(model SkyModel) {
-	o.AllocateVisibilities()
+func (o *Observation) FillFromModel(model SkyModel) error {
+	if err := o.AllocateVisibilities(); err != nil {
+		return err
+	}
 	freqs := o.Config.Frequencies()
 	for b := range o.Vis.Data {
 		for t := 0; t < o.Vis.NrTimesteps; t++ {
@@ -297,32 +307,53 @@ func (o *Observation) FillFromModel(model SkyModel) {
 			}
 		}
 	}
+	return nil
 }
 
 // GridAll grids every visibility onto a fresh grid and returns it
-// with the stage times.
-func (o *Observation) GridAll(prov ATermProvider) (*Grid, StageTimes, error) {
+// with the stage times. The context cancels or deadline-bounds the
+// run; item failures fail fast — see GridAllFT for other policies.
+func (o *Observation) GridAll(ctx context.Context, prov ATermProvider) (*Grid, StageTimes, error) {
 	if o.Vis == nil {
 		return nil, StageTimes{}, fmt.Errorf("repro: visibilities not allocated")
 	}
 	g := grid.NewGrid(o.Config.GridSize)
-	times, err := o.Kernels.GridVisibilities(o.Plan, o.Vis, prov, g)
+	times, err := o.Kernels.GridVisibilities(ctx, o.Plan, o.Vis, prov, g)
 	return g, times, err
+}
+
+// GridAllFT is GridAll under an explicit fault-tolerance policy; it
+// additionally returns the degradation report.
+func (o *Observation) GridAllFT(ctx context.Context, prov ATermProvider, ft FaultConfig) (*Grid, StageTimes, *FaultReport, error) {
+	if o.Vis == nil {
+		return nil, StageTimes{}, nil, fmt.Errorf("repro: visibilities not allocated")
+	}
+	g := grid.NewGrid(o.Config.GridSize)
+	times, rep, err := o.Kernels.GridVisibilitiesFT(ctx, o.Plan, o.Vis, prov, g, ft)
+	return g, times, rep, err
 }
 
 // DegridAll predicts visibilities for the given uv grid, overwriting
 // the observation's visibility data, and returns the stage times.
-func (o *Observation) DegridAll(prov ATermProvider, g *Grid) (StageTimes, error) {
+func (o *Observation) DegridAll(ctx context.Context, prov ATermProvider, g *Grid) (StageTimes, error) {
 	if o.Vis == nil {
 		return StageTimes{}, fmt.Errorf("repro: visibilities not allocated")
 	}
-	return o.Kernels.DegridVisibilities(o.Plan, o.Vis, prov, g)
+	return o.Kernels.DegridVisibilities(ctx, o.Plan, o.Vis, prov, g)
+}
+
+// DegridAllFT is DegridAll under an explicit fault-tolerance policy.
+func (o *Observation) DegridAllFT(ctx context.Context, prov ATermProvider, g *Grid, ft FaultConfig) (StageTimes, *FaultReport, error) {
+	if o.Vis == nil {
+		return StageTimes{}, nil, fmt.Errorf("repro: visibilities not allocated")
+	}
+	return o.Kernels.DegridVisibilitiesFT(ctx, o.Plan, o.Vis, prov, g, ft)
 }
 
 // DirtyImage grids the visibilities and converts the result into a
 // normalized, taper-corrected sky image.
-func (o *Observation) DirtyImage(prov ATermProvider) (*Grid, error) {
-	g, _, err := o.GridAll(prov)
+func (o *Observation) DirtyImage(ctx context.Context, prov ATermProvider) (*Grid, error) {
+	g, _, err := o.GridAll(ctx, prov)
 	if err != nil {
 		return nil, err
 	}

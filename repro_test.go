@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestEndToEndDirtyImageThroughFacade(t *testing.T) {
 	pix := obs.ImageSize / float64(obs.Config.GridSize)
 	model := SkyModel{{L: 20 * pix, M: -12 * pix, I: 2}}
 	obs.FillFromModel(model)
-	img, err := obs.DirtyImage(nil)
+	img, err := obs.DirtyImage(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestGridDegridRoundtripThroughFacade(t *testing.T) {
 	model := SkyModel{{L: 10 * pix, M: 5 * pix, I: 1}}
 	img := model.Rasterize(obs.Config.GridSize, obs.ImageSize)
 	g := ImageToGrid(img, 0)
-	if _, err := obs.DegridAll(nil, g); err != nil {
+	if _, err := obs.DegridAll(context.Background(), nil, g); err != nil {
 		t.Fatal(err)
 	}
 	// Degridded visibilities carry the source's flux scale.
@@ -119,10 +120,10 @@ func TestGridAllRequiresVisibilities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := obs.GridAll(nil); err == nil {
+	if _, _, err := obs.GridAll(context.Background(), nil); err == nil {
 		t.Fatal("expected error without visibilities")
 	}
-	if _, err := obs.DegridAll(nil, NewGrid(obs.Config.GridSize)); err == nil {
+	if _, err := obs.DegridAll(context.Background(), nil, NewGrid(obs.Config.GridSize)); err == nil {
 		t.Fatal("expected error without visibilities")
 	}
 }
@@ -134,11 +135,11 @@ func TestATermProviderThroughFacade(t *testing.T) {
 	}
 	pix := obs.ImageSize / float64(obs.Config.GridSize)
 	obs.FillFromModel(SkyModel{{L: 8 * pix, M: 8 * pix, I: 1}})
-	img, err := obs.DirtyImage(aterm.Identity{})
+	img, err := obs.DirtyImage(context.Background(), aterm.Identity{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	img2, err := obs.DirtyImage(nil)
+	img2, err := obs.DirtyImage(context.Background(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

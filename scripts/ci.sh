@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI gate: vet, build, full test suite with the race detector, then the
+# chaos tests raced a second time with fresh counts. Mirrors `make ci`
+# for environments without make.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
+go test -race -run 'Facade|Chaos|Cancel' . ./internal/core/
