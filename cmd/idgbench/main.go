@@ -10,12 +10,15 @@
 //	idgbench -experiment all
 //	idgbench -experiment table1,fig9,fig10
 //	idgbench -experiment fig8 -scale 0.2
+//	idgbench -experiment measured -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 )
 
@@ -40,11 +43,49 @@ var experiments = []struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the real main body so the profiling defers fire before
+// the process exits.
+func run() int {
 	list := flag.String("experiment", "all",
 		"comma-separated experiment list (all, table1, fig7-fig16, plan, measured)")
 	scale := flag.Float64("scale", 1.0,
 		"dataset scale factor for experiments that run real code")
+	cpuprofile := flag.String("cpuprofile", "",
+		"write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "",
+		"write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "idgbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "idgbench: start cpu profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "idgbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "idgbench: write heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	selected := map[string]bool{}
 	for _, s := range strings.Split(*list, ",") {
@@ -65,6 +106,7 @@ func main() {
 		for _, e := range experiments {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
 		}
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

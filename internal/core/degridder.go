@@ -15,12 +15,20 @@ import (
 //
 // The input subgrid is not modified.
 func (k *Kernels) DegridSubgrid(item plan.WorkItem, in *grid.Subgrid, uvw []uvwsim.UVW, atermP, atermQ []xmath.Matrix2, vis []xmath.Matrix2) {
+	s := k.getScratch()
+	k.degridSubgridScratch(item, in, uvw, atermP, atermQ, vis, s)
+	k.putScratch(s)
+}
+
+// degridSubgridScratch is DegridSubgrid with caller-owned scratch
+// buffers (see gridSubgridScratch).
+func (k *Kernels) degridSubgridScratch(item plan.WorkItem, in *grid.Subgrid, uvw []uvwsim.UVW, atermP, atermQ []xmath.Matrix2, vis []xmath.Matrix2, s *scratch) {
 	k.checkItem(item, uvw, vis)
 	if k.params.DisableBatching {
 		k.degridSubgridReference(item, in, uvw, atermP, atermQ, vis)
 		return
 	}
-	k.degridSubgridBatched(item, in, uvw, atermP, atermQ, vis)
+	k.degridSubgridBatched(item, in, uvw, atermP, atermQ, vis, s)
 }
 
 // correctedPixel applies the forward A-terms (Ap * S * Aq^H) and the
@@ -69,22 +77,29 @@ func (k *Kernels) degridSubgridReference(item plan.WorkItem, in *grid.Subgrid, u
 // Section V-B-b: the corrected pixels are precomputed once into planar
 // real/imaginary arrays ("vectorization over pixels"), the per-pixel
 // phase offsets are hoisted, and the sine/cosine evaluations are
-// batched per pixel row.
-func (k *Kernels) degridSubgridBatched(item plan.WorkItem, in *grid.Subgrid, uvw []uvwsim.UVW, atermP, atermQ []xmath.Matrix2, vis []xmath.Matrix2) {
+// batched per pixel row. On uniformly spaced channels each pixel's
+// phasor advances from channel to channel by a fixed per-pixel delta
+// phasor (the phase is affine in the channel index), so the per-
+// channel sincos sweep over the pixels collapses to two evaluations
+// per (pixel, time step) plus one complex rotation per (pixel,
+// channel), re-synchronized exactly every xmath.DefaultPhasorResync
+// channels.
+func (k *Kernels) degridSubgridBatched(item plan.WorkItem, in *grid.Subgrid, uvw []uvwsim.UVW, atermP, atermQ []xmath.Matrix2, vis []xmath.Matrix2, sc *scratch) {
 	sg := k.params.SubgridSize
 	npix := sg * sg
+	nc := item.NrChannels
 	uOff, vOff := k.uvOffset(item.X0, item.Y0)
 	wOff := item.WOffset
 
 	// Apply taper and A-terms once; split planes (the degridder's
 	// analogue of the gridder's transposition step).
-	backing := make([]float64, 8*npix)
+	backing := growF(&sc.planar, 8*npix)
 	var pre, pim [4][]float64
 	for p := 0; p < 4; p++ {
 		pre[p] = backing[(2*p)*npix : (2*p+1)*npix]
 		pim[p] = backing[(2*p+1)*npix : (2*p+2)*npix]
 	}
-	pOff := make([]float64, npix)
+	pOff := growF(&sc.pOff, npix)
 	for i := 0; i < npix; i++ {
 		s := k.correctedPixel(in, i, atermP, atermQ)
 		pre[0][i], pim[0][i] = real(s[0]), imag(s[0])
@@ -94,18 +109,49 @@ func (k *Kernels) degridSubgridBatched(item plan.WorkItem, in *grid.Subgrid, uvw
 		pOff[i] = twoPi * (uOff*k.l[i] + vOff*k.m[i] + wOff*k.n[i])
 	}
 
-	phRe := make([]float64, npix)
-	phIm := make([]float64, npix)
-	pIdx := make([]float64, npix)
+	phRe := growF(&sc.phRe, npix)
+	phIm := growF(&sc.phIm, npix)
+	pIdx := growF(&sc.pIdx, npix)
+	useRec := k.useRecurrence(nc)
+	var dRe, dIm []float64
+	if useRec {
+		dRe = growF(&sc.dRe, npix)
+		dIm = growF(&sc.dIm, npix)
+	}
+	scale0 := k.scale[item.Channel0]
 	for t := 0; t < item.NrTimesteps; t++ {
 		c3 := uvw[t]
 		for i := 0; i < npix; i++ {
 			pIdx[i] = c3.U*k.l[i] + c3.V*k.m[i] + c3.W*k.n[i]
 		}
-		for c := 0; c < item.NrChannels; c++ {
-			scale := k.scale[item.Channel0+c]
+		if useRec {
+			// Seed the per-pixel phasors at channel 0 and the delta
+			// phasors exp(i*pIdx*dscale) that advance them per channel.
 			for i := 0; i < npix; i++ {
-				phIm[i], phRe[i] = k.sincos(pIdx[i]*scale - pOff[i])
+				phIm[i], phRe[i] = k.sincos(pIdx[i]*scale0 - pOff[i])
+				dIm[i], dRe[i] = k.sincos(pIdx[i] * k.dscale)
+			}
+		}
+		for c := 0; c < nc; c++ {
+			scale := k.scale[item.Channel0+c]
+			switch {
+			case !useRec:
+				for i := 0; i < npix; i++ {
+					phIm[i], phRe[i] = k.sincos(pIdx[i]*scale - pOff[i])
+				}
+			case c == 0:
+				// Seeded above.
+			case c%xmath.DefaultPhasorResync == 0:
+				// Exact re-sync bounds the rotation drift.
+				for i := 0; i < npix; i++ {
+					phIm[i], phRe[i] = k.sincos(pIdx[i]*scale - pOff[i])
+				}
+			default:
+				for i := 0; i < npix; i++ {
+					s, co := phIm[i], phRe[i]
+					phIm[i] = s*dRe[i] + co*dIm[i]
+					phRe[i] = co*dRe[i] - s*dIm[i]
+				}
 			}
 			var s0r, s0i, s1r, s1i, s2r, s2i, s3r, s3i float64
 			for i := 0; i < npix; i++ {
@@ -123,7 +169,7 @@ func (k *Kernels) degridSubgridBatched(item plan.WorkItem, in *grid.Subgrid, uvw
 				s3r += vr*cr - vi*ci
 				s3i += vr*ci + vi*cr
 			}
-			vis[t*item.NrChannels+c] = xmath.Matrix2{
+			vis[t*nc+c] = xmath.Matrix2{
 				complex(s0r, s0i), complex(s1r, s1i),
 				complex(s2r, s2i), complex(s3r, s3i),
 			}

@@ -22,13 +22,33 @@ const twoPi = 2 * math.Pi
 // atermQ are the per-pixel station responses (nil for identity). The
 // subgrid out is overwritten, including its anchor metadata.
 func (k *Kernels) GridSubgrid(item plan.WorkItem, uvw []uvwsim.UVW, vis []xmath.Matrix2, atermP, atermQ []xmath.Matrix2, out *grid.Subgrid) {
+	s := k.getScratch()
+	k.gridSubgridScratch(item, uvw, vis, atermP, atermQ, out, s)
+	k.putScratch(s)
+}
+
+// gridSubgridScratch is GridSubgrid with caller-owned scratch buffers;
+// the pipeline threads one scratch per worker through it so the steady
+// state allocates nothing.
+func (k *Kernels) gridSubgridScratch(item plan.WorkItem, uvw []uvwsim.UVW, vis []xmath.Matrix2, atermP, atermQ []xmath.Matrix2, out *grid.Subgrid, s *scratch) {
 	k.checkItem(item, uvw, vis)
 	out.X0, out.Y0, out.WOffset = item.X0, item.Y0, item.WOffset
 	if k.params.DisableBatching {
 		k.gridSubgridReference(item, uvw, vis, atermP, atermQ, out)
 		return
 	}
-	k.gridSubgridBatched(item, uvw, vis, atermP, atermQ, out)
+	k.gridSubgridBatched(item, uvw, vis, atermP, atermQ, out, s)
+}
+
+// phasorMinChannels is the smallest channel count for which the
+// recurrence wins: it replaces nc sincos evaluations per (pixel, time
+// step) with two plus nc-1 complex rotations.
+const phasorMinChannels = 3
+
+// useRecurrence reports whether the phasor rotation recurrence applies
+// to a work item of nc channels.
+func (k *Kernels) useRecurrence(nc int) bool {
+	return k.uniformScale && nc >= phasorMinChannels
 }
 
 // checkItem validates a work item against its buffers. It panics with
@@ -96,7 +116,10 @@ func (k *Kernels) storePixel(out *grid.Subgrid, i int, sum xmath.Matrix2, atermP
 // real/imaginary arrays, the sine/cosine evaluations are batched per
 // channel block (Listing 1's SIMD reduction becomes a tight scalar
 // FMA loop over channels), and each pixel accumulates in registers.
-func (k *Kernels) gridSubgridBatched(item plan.WorkItem, uvw []uvwsim.UVW, vis []xmath.Matrix2, atermP, atermQ []xmath.Matrix2, out *grid.Subgrid) {
+// On uniformly spaced channels the per-channel sincos batch collapses
+// to two evaluations plus the phasor rotation recurrence (the phase is
+// affine in the channel index; see xmath.PhasorRotator).
+func (k *Kernels) gridSubgridBatched(item plan.WorkItem, uvw []uvwsim.UVW, vis []xmath.Matrix2, atermP, atermQ []xmath.Matrix2, out *grid.Subgrid, s *scratch) {
 	sg := k.params.SubgridSize
 	nt, nc := item.NrTimesteps, item.NrChannels
 	uOff, vOff := k.uvOffset(item.X0, item.Y0)
@@ -105,7 +128,7 @@ func (k *Kernels) gridSubgridBatched(item plan.WorkItem, uvw []uvwsim.UVW, vis [
 	// Transpose and split the visibilities (optimization (1) of
 	// Section V-B-a).
 	var re, im [4][]float64
-	backing := make([]float64, 8*nt*nc)
+	backing := growF(&s.planar, 8*nt*nc)
 	for p := 0; p < 4; p++ {
 		re[p] = backing[(2*p)*nt*nc : (2*p+1)*nt*nc]
 		im[p] = backing[(2*p+1)*nt*nc : (2*p+2)*nt*nc]
@@ -118,25 +141,35 @@ func (k *Kernels) gridSubgridBatched(item plan.WorkItem, uvw []uvwsim.UVW, vis [
 	}
 	scale := k.scale[item.Channel0 : item.Channel0+nc]
 
-	phRe := make([]float64, nc)
-	phIm := make([]float64, nc)
+	phRe := growF(&s.phRe, nc)
+	phIm := growF(&s.phIm, nc)
+	useRec := k.useRecurrence(nc)
 	// "Runtime compilation" analogue: pick the channel-reduction
 	// routine specialized for this item's channel count.
 	reduce := reducerFor(nc)
+	acc := &s.acc
 	for i := 0; i < sg*sg; i++ {
 		l, m, n := k.l[i], k.m[i], k.n[i]
 		phaseOffset := twoPi * (uOff*l + vOff*m + wOff*n)
-		var acc [8]float64
+		*acc = [8]float64{}
 		for t := 0; t < nt; t++ {
 			c3 := uvw[t]
 			phaseIndex := c3.U*l + c3.V*m + c3.W*n
 			// Batched sine/cosine evaluation over the channels
 			// (optimization (2)).
-			for c := 0; c < nc; c++ {
-				phIm[c], phRe[c] = k.sincos(phaseIndex*scale[c] - phaseOffset)
+			if useRec {
+				// The channel phase step phaseIndex*dscale is constant
+				// for this (pixel, time step): rotate instead of
+				// re-evaluating.
+				k.rotator.Fill(phIm, phRe,
+					phaseIndex*scale[0]-phaseOffset, phaseIndex*k.dscale)
+			} else {
+				for c := 0; c < nc; c++ {
+					phIm[c], phRe[c] = k.sincos(phaseIndex*scale[c] - phaseOffset)
+				}
 			}
 			// Channel reduction (Listing 1).
-			reduce(&acc, phRe, phIm, &re, &im, t*nc, nc)
+			reduce(acc, phRe, phIm, &re, &im, t*nc, nc)
 		}
 		sum := xmath.Matrix2{
 			complex(acc[0], acc[1]), complex(acc[2], acc[3]),

@@ -24,9 +24,12 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"sync"
 
 	"repro/internal/fft"
+	"repro/internal/grid"
 	"repro/internal/sky"
 	"repro/internal/taper"
 	"repro/internal/uvwsim"
@@ -55,6 +58,12 @@ type Params struct {
 	// instead of the batch-blocked ones (used by the ablation
 	// benchmarks; the results are identical to rounding).
 	DisableBatching bool
+	// DisablePhasorRecurrence forces one sine/cosine evaluation per
+	// (pixel, time step, channel) even when the channel spacing is
+	// uniform, instead of the phasor rotation recurrence (used by the
+	// ablation benchmarks; the results are identical to within
+	// xmath.PhasorErrorBound).
+	DisablePhasorRecurrence bool
 }
 
 // Validate checks the parameters.
@@ -101,8 +110,23 @@ type Kernels struct {
 	// meters to radians for channel c.
 	scale []float64
 
+	// Phasor recurrence state: when the channel frequencies are
+	// uniformly spaced (detected once here), the per-channel phase is
+	// affine in the channel index and the batched kernels replace
+	// per-channel sincos with rotations by dscale (radians per meter
+	// per channel). Non-uniform plans fall back to the direct path.
+	uniformScale bool
+	dscale       float64
+	rotator      xmath.PhasorRotator
+
 	sincos xmath.SincosFunc
 	sgFFT  *fft.Plan2D
+
+	// Per-worker buffer pools of the pipeline hot path (see
+	// scratch.go). Both reach a steady state with zero allocations per
+	// work item.
+	scratchPool sync.Pool
+	subgridPool sync.Pool
 }
 
 // NewKernels precomputes the kernel state for the given parameters.
@@ -139,7 +163,19 @@ func NewKernels(params Params) (*Kernels, error) {
 	if k.sincos == nil {
 		k.sincos = xmath.SincosFast
 	}
+	// Detect uniform channel spacing once: the recurrence kernels only
+	// engage when the per-channel phase step is constant. The relative
+	// tolerance is tight (1e-12 of the band spread) so that treating a
+	// nearly-uniform plan as uniform could never move a phase by more
+	// than ~1e-10 rad over the kernels' argument range.
+	if df, ok := xmath.UniformSpacing(params.Frequencies, 1e-12); ok && !params.DisablePhasorRecurrence {
+		k.uniformScale = true
+		k.dscale = 2 * math.Pi * df / uvwsim.SpeedOfLight
+	}
+	k.rotator = xmath.PhasorRotator{Sincos: k.sincos}
 	k.sgFFT = fft.NewPlan2D(sg, sg)
+	k.scratchPool.New = func() any { return new(scratch) }
+	k.subgridPool.New = func() any { return grid.NewSubgrid(sg, 0, 0) }
 	return k, nil
 }
 

@@ -122,46 +122,54 @@ func (vs *VisibilitySet) ClearFlags() { vs.Flags = nil }
 
 // gather copies the visibilities covered by a work item into dst
 // (layout [t*item.NrChannels + c]), zeroing flagged samples so they
-// enter the gridder with zero weight.
+// enter the gridder with zero weight. Flagged samples are zeroed
+// directly while copying — no second pass over the row.
 func (vs *VisibilitySet) gather(item plan.WorkItem, dst []xmath.Matrix2) {
 	src := vs.Data[item.Baseline]
-	var flags []bool
-	if vs.Flags != nil {
-		flags = vs.Flags[item.Baseline]
-	}
-	for t := 0; t < item.NrTimesteps; t++ {
-		row := (item.TimeStart + t) * vs.NrChannels
-		copy(dst[t*item.NrChannels:(t+1)*item.NrChannels],
-			src[row+item.Channel0:row+item.Channel0+item.NrChannels])
-		if flags == nil {
-			continue
+	if vs.Flags == nil {
+		for t := 0; t < item.NrTimesteps; t++ {
+			row := (item.TimeStart+t)*vs.NrChannels + item.Channel0
+			copy(dst[t*item.NrChannels:(t+1)*item.NrChannels],
+				src[row:row+item.NrChannels])
 		}
-		for c := 0; c < item.NrChannels; c++ {
-			if flags[row+item.Channel0+c] {
-				dst[t*item.NrChannels+c] = xmath.Matrix2{}
+		return
+	}
+	flags := vs.Flags[item.Baseline]
+	for t := 0; t < item.NrTimesteps; t++ {
+		row := (item.TimeStart+t)*vs.NrChannels + item.Channel0
+		out := dst[t*item.NrChannels : (t+1)*item.NrChannels]
+		for c := range out {
+			if flags[row+c] {
+				out[c] = xmath.Matrix2{}
+			} else {
+				out[c] = src[row+c]
 			}
 		}
 	}
 }
 
 // scatter writes predicted visibilities of a work item back, storing
-// zeros for flagged samples (zero-weight on the degridding side).
+// zeros for flagged samples (zero-weight on the degridding side) in
+// the same pass as the copy.
 func (vs *VisibilitySet) scatter(item plan.WorkItem, src []xmath.Matrix2) {
 	dst := vs.Data[item.Baseline]
-	var flags []bool
-	if vs.Flags != nil {
-		flags = vs.Flags[item.Baseline]
-	}
-	for t := 0; t < item.NrTimesteps; t++ {
-		row := (item.TimeStart + t) * vs.NrChannels
-		copy(dst[row+item.Channel0:row+item.Channel0+item.NrChannels],
-			src[t*item.NrChannels:(t+1)*item.NrChannels])
-		if flags == nil {
-			continue
+	if vs.Flags == nil {
+		for t := 0; t < item.NrTimesteps; t++ {
+			row := (item.TimeStart+t)*vs.NrChannels + item.Channel0
+			copy(dst[row:row+item.NrChannels],
+				src[t*item.NrChannels:(t+1)*item.NrChannels])
 		}
-		for c := 0; c < item.NrChannels; c++ {
-			if flags[row+item.Channel0+c] {
-				dst[row+item.Channel0+c] = xmath.Matrix2{}
+		return
+	}
+	flags := vs.Flags[item.Baseline]
+	for t := 0; t < item.NrTimesteps; t++ {
+		row := (item.TimeStart+t)*vs.NrChannels + item.Channel0
+		in := src[t*item.NrChannels : (t+1)*item.NrChannels]
+		for c := range in {
+			if flags[row+c] {
+				dst[row+c] = xmath.Matrix2{}
+			} else {
+				dst[row+c] = in[c]
 			}
 		}
 	}
@@ -201,26 +209,30 @@ func (s *StageTimes) Add(other StageTimes) {
 // the paper's work groups bound the GPU device buffers.
 const DefaultWorkGroupSize = 1024
 
-// atermMaps precomputes the per-pixel A-term maps needed by a group of
-// work items, returning a lookup by (station, slot). A nil provider
-// yields a nil map (identity fast path).
-func (k *Kernels) atermMaps(items []plan.WorkItem, baselines []uvwsim.Baseline, prov aterm.Provider) map[[2]int][]xmath.Matrix2 {
+// newATermCache builds the run-level A-term cache; it lives for a
+// whole gridding or degridding pass so maps computed for one work
+// group are reused by every later group that shares the (station,
+// slot). A nil provider yields a nil cache (identity fast path).
+func (k *Kernels) newATermCache(prov aterm.Provider) *aterm.Cache {
 	if prov == nil {
 		return nil
 	}
-	cache := aterm.NewCache(prov, k.params.SubgridSize, k.params.ImageSize)
-	maps := make(map[[2]int][]xmath.Matrix2)
+	return aterm.NewCache(prov, k.params.SubgridSize, k.params.ImageSize)
+}
+
+// prefillATerms serially warms the cache with every (station, slot)
+// pair a group of work items needs. aterm.Cache is not safe for
+// concurrent writes, but after this prefill every worker Get is a
+// read-only hit, so the fan-out needs no locking.
+func (k *Kernels) prefillATerms(cache *aterm.Cache, items []plan.WorkItem, baselines []uvwsim.Baseline) {
+	if cache == nil {
+		return
+	}
 	for i := range items {
 		b := baselines[items[i].Baseline]
-		slot := items[i].ATermSlot
-		for _, st := range [2]int{b.P, b.Q} {
-			key := [2]int{st, slot}
-			if _, ok := maps[key]; !ok {
-				maps[key] = cache.Get(st, slot)
-			}
-		}
+		cache.Get(b.P, items[i].ATermSlot)
+		cache.Get(b.Q, items[i].ATermSlot)
 	}
-	return maps
 }
 
 // GridVisibilities runs the full gridding pass of Fig. 4: gridder
@@ -247,22 +259,31 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 	if err := k.checkPlan(p, vs); err != nil {
 		return times, rep, err
 	}
+	cache := k.newATermCache(prov)
+	// One subgrid-pointer table for the whole pass: work groups are at
+	// most DefaultWorkGroupSize items, so the table is sliced (and its
+	// slots cleared) per group instead of reallocated.
+	subgridBuf := make([]*grid.Subgrid, DefaultWorkGroupSize)
 	for _, group := range p.WorkGroups(DefaultWorkGroupSize) {
 		if err := ctx.Err(); err != nil {
 			return times, rep, faulttol.Canceled(err)
 		}
-		maps := k.atermMaps(group, vs.Baselines, prov)
-		subgrids := make([]*grid.Subgrid, len(group))
+		k.prefillATerms(cache, group, vs.Baselines)
+		subgrids := subgridBuf[:len(group)]
+		for i := range subgrids {
+			subgrids[i] = nil
+		}
 
 		start := time.Now()
-		err := k.runItems(ctx, group, ft, rep, func(i int) error {
+		err := k.runItems(ctx, group, ft, rep, func(i int, s *scratch) error {
 			item := group[i]
-			sgr := grid.NewSubgrid(k.params.SubgridSize, item.X0, item.Y0)
-			vis := make([]xmath.Matrix2, item.NrVisibilities())
+			sgr := k.getSubgrid(item.X0, item.Y0)
+			vis := s.visBuf(item.NrVisibilities())
 			vs.gather(item, vis)
-			ap, aq := k.lookupATerms(maps, vs.Baselines, item)
-			k.GridSubgrid(item, vs.itemUVW(item), vis, ap, aq, sgr)
+			ap, aq := k.lookupATerms(cache, vs.Baselines, item)
+			k.gridSubgridScratch(item, vs.itemUVW(item), vis, ap, aq, sgr, s)
 			if !sgr.Finite() {
+				k.putSubgrid(sgr)
 				return fmt.Errorf("%w: non-finite subgrid (corrupt unflagged visibilities)",
 					faulttol.ErrBadInput)
 			}
@@ -271,6 +292,7 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 		})
 		times.Gridder += time.Since(start)
 		if err != nil {
+			k.releaseSubgrids(subgrids)
 			return times, rep, err
 		}
 		// Under skip-and-flag, failed items leave nil subgrids that
@@ -282,8 +304,21 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 		start = time.Now()
 		k.Adder(subgrids, g)
 		times.Adder += time.Since(start)
+
+		k.releaseSubgrids(subgrids)
 	}
 	return times, rep, nil
+}
+
+// releaseSubgrids returns every non-nil subgrid of a work group to the
+// pool and clears the slots.
+func (k *Kernels) releaseSubgrids(subgrids []*grid.Subgrid) {
+	for i, s := range subgrids {
+		if s != nil {
+			k.putSubgrid(s)
+			subgrids[i] = nil
+		}
+	}
 }
 
 // DegridVisibilities runs the full degridding pass of Fig. 4 in
@@ -305,14 +340,18 @@ func (k *Kernels) DegridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Vi
 	if err := k.checkPlan(p, vs); err != nil {
 		return times, rep, err
 	}
+	cache := k.newATermCache(prov)
+	subgridBuf := make([]*grid.Subgrid, DefaultWorkGroupSize)
 	for _, group := range p.WorkGroups(DefaultWorkGroupSize) {
 		if err := ctx.Err(); err != nil {
 			return times, rep, faulttol.Canceled(err)
 		}
-		maps := k.atermMaps(group, vs.Baselines, prov)
-		subgrids := make([]*grid.Subgrid, len(group))
+		k.prefillATerms(cache, group, vs.Baselines)
+		subgrids := subgridBuf[:len(group)]
 		for i, item := range group {
-			sgr := grid.NewSubgrid(k.params.SubgridSize, item.X0, item.Y0)
+			// Pooled subgrids arrive with stale pixels; the splitter
+			// overwrites every pixel of every plane.
+			sgr := k.getSubgrid(item.X0, item.Y0)
 			sgr.WOffset = item.WOffset
 			subgrids[i] = sgr
 		}
@@ -326,15 +365,16 @@ func (k *Kernels) DegridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Vi
 		times.SubgridFFT += time.Since(start)
 
 		start = time.Now()
-		err := k.runItems(ctx, group, ft, rep, func(i int) error {
+		err := k.runItems(ctx, group, ft, rep, func(i int, s *scratch) error {
 			item := group[i]
-			vis := make([]xmath.Matrix2, item.NrVisibilities())
-			ap, aq := k.lookupATerms(maps, vs.Baselines, item)
-			k.DegridSubgrid(item, subgrids[i], vs.itemUVW(item), ap, aq, vis)
+			vis := s.visBuf(item.NrVisibilities())
+			ap, aq := k.lookupATerms(cache, vs.Baselines, item)
+			k.degridSubgridScratch(item, subgrids[i], vs.itemUVW(item), ap, aq, vis, s)
 			vs.scatter(item, vis)
 			return nil
 		})
 		times.Degridder += time.Since(start)
+		k.releaseSubgrids(subgrids)
 		if err != nil {
 			return times, rep, err
 		}
@@ -342,12 +382,14 @@ func (k *Kernels) DegridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Vi
 	return times, rep, nil
 }
 
-func (k *Kernels) lookupATerms(maps map[[2]int][]xmath.Matrix2, baselines []uvwsim.Baseline, item plan.WorkItem) (ap, aq []xmath.Matrix2) {
-	if maps == nil {
+// lookupATerms resolves a work item's two station maps from the warm
+// run-level cache (every Get here is a hit; see prefillATerms).
+func (k *Kernels) lookupATerms(cache *aterm.Cache, baselines []uvwsim.Baseline, item plan.WorkItem) (ap, aq []xmath.Matrix2) {
+	if cache == nil {
 		return nil, nil
 	}
 	b := baselines[item.Baseline]
-	return maps[[2]int{b.P, item.ATermSlot}], maps[[2]int{b.Q, item.ATermSlot}]
+	return cache.Get(b.P, item.ATermSlot), cache.Get(b.Q, item.ATermSlot)
 }
 
 func (k *Kernels) checkPlan(p *plan.Plan, vs *VisibilitySet) error {
@@ -366,13 +408,16 @@ func (k *Kernels) checkPlan(p *plan.Plan, vs *VisibilitySet) error {
 	return nil
 }
 
-// runItems executes fn(i) for every work item on the worker pool with
-// panic isolation, the configured failure policy, and cooperative
-// cancellation. A panic inside fn (or the injection hook) becomes an
-// ErrKernelPanic-wrapped ItemError; errors.Is(err, ErrBadInput)
-// failures are never retried. The returned error is nil, the first
-// fatal *faulttol.ItemError, or an ErrCanceled wrapper.
-func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faulttol.Config, rep *faulttol.Report, fn func(i int) error) error {
+// runItems executes fn(i, s) for every work item on the worker pool
+// with panic isolation, the configured failure policy, and cooperative
+// cancellation. Each worker checks one scratch arena out of the kernel
+// pool for its whole run and hands it to every fn call, so the steady
+// state of the hot path allocates nothing. A panic inside fn (or the
+// injection hook) becomes an ErrKernelPanic-wrapped ItemError;
+// errors.Is(err, ErrBadInput) failures are never retried. The returned
+// error is nil, the first fatal *faulttol.ItemError, or an ErrCanceled
+// wrapper.
+func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faulttol.Config, rep *faulttol.Report, fn func(i int, s *scratch) error) error {
 	n := len(items)
 	if n == 0 {
 		return ctxErr(ctx)
@@ -392,7 +437,7 @@ func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faultt
 		cancel()
 	}
 
-	runOne := func(i int) {
+	runOne := func(i int, s *scratch) {
 		item := items[i]
 		var err error
 		made := 0
@@ -405,7 +450,7 @@ func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faultt
 				if ft.Hook != nil {
 					ft.Hook(item, a)
 				}
-				return fn(i)
+				return fn(i, s)
 			})
 			if err == nil {
 				rep.RecordSuccess(a > 1)
@@ -434,11 +479,13 @@ func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faultt
 		workers = n
 	}
 	if workers <= 1 {
+		s := k.getScratch()
+		defer k.putScratch(s)
 		for i := 0; i < n; i++ {
 			if runCtx.Err() != nil {
 				break
 			}
-			runOne(i)
+			runOne(i, s)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -447,12 +494,14 @@ func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faultt
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				s := k.getScratch()
+				defer k.putScratch(s)
 				for runCtx.Err() == nil {
 					i := int(atomic.AddInt64(&next, 1)) - 1
 					if i >= n {
 						return
 					}
-					runOne(i)
+					runOne(i, s)
 				}
 			}()
 		}

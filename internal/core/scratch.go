@@ -1,0 +1,76 @@
+package core
+
+import (
+	"repro/internal/grid"
+	"repro/internal/xmath"
+)
+
+// scratch holds the per-worker reusable buffers of the kernel hot
+// path: the visibility gather buffer, the planar real/imaginary
+// backing of the batched kernels, and the phasor buffers of the
+// recurrence. A scratch is owned by exactly one worker at a time
+// (handed out by Kernels.getScratch / returned by putScratch), so its
+// buffers need no synchronization. Buffers grow monotonically to the
+// largest work item seen and are reused as-is afterwards — every
+// kernel fully overwrites the prefix it slices off, so no zeroing
+// happens between items.
+type scratch struct {
+	vis []xmath.Matrix2 // gather/scatter buffer, one entry per visibility
+
+	planar []float64 // 8-plane re/im backing (gridder: vis, degridder: pixels)
+
+	// Phasor buffers. The gridder uses phRe/phIm per channel; the
+	// degridder uses all four per pixel (current and delta phasors)
+	// plus the hoisted phase-index/offset tables.
+	phRe, phIm []float64
+	dRe, dIm   []float64
+	pIdx, pOff []float64
+
+	// acc is the gridder's per-pixel accumulator. It lives here because
+	// its address is passed to the indirect channel-reduction call, so a
+	// stack-local would escape (one heap allocation per pixel).
+	acc [8]float64
+}
+
+// growF returns (*buf)[:n], reallocating when the capacity is too
+// small. The returned prefix contains stale data by design.
+func growF(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+// visBuf returns the gather buffer resized to n visibilities.
+func (s *scratch) visBuf(n int) []xmath.Matrix2 {
+	if cap(s.vis) < n {
+		s.vis = make([]xmath.Matrix2, n)
+	}
+	return s.vis[:n]
+}
+
+// getScratch hands out a per-worker scratch from the kernel pool.
+func (k *Kernels) getScratch() *scratch {
+	return k.scratchPool.Get().(*scratch)
+}
+
+// putScratch returns a scratch to the pool for the next worker.
+func (k *Kernels) putScratch(s *scratch) {
+	k.scratchPool.Put(s)
+}
+
+// getSubgrid hands out a pooled subgrid re-anchored at (x0, y0). The
+// pixel data is stale: every consumer (the gridder kernel and the
+// splitter) overwrites all N~^2 pixels of all four correlation planes,
+// so pooled subgrids are never zeroed.
+func (k *Kernels) getSubgrid(x0, y0 int) *grid.Subgrid {
+	s := k.subgridPool.Get().(*grid.Subgrid)
+	s.X0, s.Y0, s.WOffset = x0, y0, 0
+	return s
+}
+
+// putSubgrid returns a subgrid to the pool once the adder (or the
+// degridder) is done with it.
+func (k *Kernels) putSubgrid(s *grid.Subgrid) {
+	k.subgridPool.Put(s)
+}

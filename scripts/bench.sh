@@ -1,0 +1,27 @@
+#!/bin/sh
+# Kernel/pipeline benchmark runner: measures the gridder and degridder
+# kernels and the full warm pipeline passes with allocation tracking,
+# and writes the machine-readable BENCH_kernels.json (ns/op, allocs/op,
+# visibilities/sec; see cmd/benchjson) for diffing against
+# BENCH_kernels_seed.json.
+#
+# Usage:
+#   scripts/bench.sh          # full run, rewrites BENCH_kernels.json
+#   scripts/bench.sh -short   # 1-iteration smoke run (CI); result is
+#                             # parsed and validated but not committed
+set -eu
+cd "$(dirname "$0")/.."
+
+bench='BenchmarkGridderKernel$|BenchmarkDegridderKernel$|BenchmarkFullGriddingPass$|BenchmarkFullDegriddingPass$'
+out=BENCH_kernels.json
+benchtime=''
+if [ "${1:-}" = "-short" ]; then
+    benchtime='-benchtime=1x'
+    out="$(mktemp)"
+    trap 'rm -f "$out"' EXIT
+fi
+
+raw="$(go test -run '^$' -bench "$bench" -benchmem $benchtime .)"
+printf '%s\n' "$raw"
+printf '%s\n' "$raw" | go run ./cmd/benchjson > "$out"
+echo "bench.sh: wrote $out" >&2

@@ -1,7 +1,9 @@
 #!/bin/sh
-# CI gate: vet, build, full test suite with the race detector, then the
-# chaos tests raced a second time with fresh counts. Mirrors `make ci`
-# for environments without make.
+# CI gate: vet, build, full test suite with the race detector, the
+# chaos tests raced a second time with fresh counts, and a one-shot
+# smoke run of the kernel benchmarks (validates the bench -> JSON
+# tooling without burning benchmark time). Mirrors `make ci` for
+# environments without make.
 set -eux
 
 go vet ./...
@@ -9,3 +11,4 @@ go build ./...
 go test -race ./...
 go test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
 go test -race -run 'Facade|Chaos|Cancel' . ./internal/core/
+scripts/bench.sh -short
