@@ -96,6 +96,57 @@ func BenchmarkAblationBatching(b *testing.B) {
 	})
 }
 
+// BenchmarkAblationPrecision compares the float64 and float32 compute
+// paths of the batch-blocked gridder (same uvw/vis workload).
+func BenchmarkAblationPrecision(b *testing.B) {
+	b.Run("float64", func(b *testing.B) {
+		runGridderAblation(b, Params{})
+	})
+	b.Run("float32", func(b *testing.B) {
+		runGridderAblation(b, Params{Precision: Float32})
+	})
+}
+
+// BenchmarkAblationVectorKernels compares the hand-vectorized AVX2+FMA
+// float64 tile kernels against the generic Go tiles. On hardware
+// without AVX2+FMA both sub-benchmarks run the generic path.
+func BenchmarkAblationVectorKernels(b *testing.B) {
+	b.Run("vector", func(b *testing.B) {
+		runGridderAblation(b, Params{})
+	})
+	b.Run("scalar", func(b *testing.B) {
+		runGridderAblation(b, Params{DisableVectorKernels: true})
+	})
+}
+
+// BenchmarkAblationPixelTileRows sweeps the pixel-tile height: tiles
+// size the phasor working set; very short tiles re-walk the
+// visibility block more often, very tall tiles spill the planar
+// visibility slabs out of L1.
+func BenchmarkAblationPixelTileRows(b *testing.B) {
+	for _, tr := range []int{1, 2, 4, 8, 24} {
+		b.Run(fmt.Sprintf("rows=%d", tr), func(b *testing.B) {
+			runGridderAblation(b, Params{PixelTileRows: tr})
+		})
+	}
+	b.Run("disabled", func(b *testing.B) {
+		runGridderAblation(b, Params{DisablePixelTiling: true})
+	})
+}
+
+// BenchmarkAblationVisBlocking sweeps the visibility-block depth
+// (timesteps per cache block) including the unblocked path.
+func BenchmarkAblationVisBlocking(b *testing.B) {
+	for _, bl := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("steps=%d", bl), func(b *testing.B) {
+			runGridderAblation(b, Params{VisBlockTimesteps: bl})
+		})
+	}
+	b.Run("disabled", func(b *testing.B) {
+		runGridderAblation(b, Params{DisableVisBlocking: true})
+	})
+}
+
 // BenchmarkAblationSubgridSize sweeps N~; per-visibility cost scales
 // with N~^2 (the trade-off of Fig. 16: larger subgrids buy W-coverage
 // at quadratic cost).

@@ -5,12 +5,25 @@
 // kernel performance without scraping free-form text:
 //
 //	go test -bench Kernel -benchmem . | benchjson > BENCH_kernels.json
+//
+// With -compare it instead diffs two reports and acts as a regression
+// gate: benchmarks present in both are compared by visibility
+// throughput (falling back to 1/ns_per_op when either side lacks the
+// MVis/s metric), and any slowdown beyond -threshold percent fails the
+// run:
+//
+//	benchjson -compare -threshold 10 BENCH_kernels.json new.json
+//
+// (flags go before the two report files: the flag package stops
+// parsing at the first positional argument)
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -40,6 +53,24 @@ type Report struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two JSON reports (old new) instead of parsing stdin")
+	threshold := flag.Float64("threshold", 10, "with -compare: maximum tolerated slowdown in percent")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files (old new)")
+			os.Exit(2)
+		}
+		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	rep, err := Parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -124,4 +155,80 @@ func addMetric(b *Benchmark, unit string, val float64) {
 		b.Metrics = make(map[string]float64)
 	}
 	b.Metrics[unit] = val
+}
+
+// loadReport reads one JSON report written by the parse mode.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// throughput returns a higher-is-better score for a benchmark: the
+// visibility rate when recorded, else the inverse op time.
+func throughput(b *Benchmark) (float64, bool) {
+	if b.VisPerSec != nil && *b.VisPerSec > 0 {
+		return *b.VisPerSec, true
+	}
+	if b.NsPerOp > 0 {
+		return 1 / b.NsPerOp, false
+	}
+	return 0, false
+}
+
+// runCompare diffs two reports benchmark by benchmark and reports
+// whether every common benchmark stayed within the slowdown threshold
+// (percent). Benchmarks only present on one side are warned about but
+// do not fail the gate: the benchmark set is allowed to grow.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	newByName := make(map[string]*Benchmark, len(newRep.Benchmarks))
+	for i := range newRep.Benchmarks {
+		newByName[newRep.Benchmarks[i].Name] = &newRep.Benchmarks[i]
+	}
+	ok := true
+	compared := 0
+	for i := range oldRep.Benchmarks {
+		ob := &oldRep.Benchmarks[i]
+		nb, found := newByName[ob.Name]
+		if !found {
+			fmt.Fprintf(w, "WARN  %-40s missing from %s\n", ob.Name, newPath)
+			continue
+		}
+		delete(newByName, ob.Name)
+		oldT, oldVis := throughput(ob)
+		newT, newVis := throughput(nb)
+		if oldT == 0 || newT == 0 || oldVis != newVis {
+			fmt.Fprintf(w, "WARN  %-40s metrics not comparable\n", ob.Name)
+			continue
+		}
+		compared++
+		deltaPct := 100 * (newT - oldT) / oldT
+		status := "ok   "
+		if deltaPct < -threshold {
+			status = "FAIL "
+			ok = false
+		}
+		fmt.Fprintf(w, "%s %-40s %+7.1f%%\n", status, ob.Name, deltaPct)
+	}
+	for name := range newByName {
+		fmt.Fprintf(w, "WARN  %-40s only in %s\n", name, newPath)
+	}
+	if compared == 0 {
+		return false, fmt.Errorf("no comparable benchmarks between %s and %s", oldPath, newPath)
+	}
+	return ok, nil
 }

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, rep *Report) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func visBench(name string, mvisPerSec float64) Benchmark {
+	v := mvisPerSec * 1e6
+	return Benchmark{Name: name, Iterations: 10, NsPerOp: 1e6, VisPerSec: &v}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: generic
+BenchmarkGridderKernel-8   	     193	   5922618 ns/op	         0.3458 MVis/s	       0 B/op	       0 allocs/op
+BenchmarkPlain   	     100	      1000 ns/op
+PASS
+`
+	rep, err := Parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkGridderKernel-8" || b.Iterations != 193 {
+		t.Fatalf("bad first benchmark: %+v", b)
+	}
+	if b.VisPerSec == nil || *b.VisPerSec != 0.3458e6 {
+		t.Fatalf("MVis/s not converted: %+v", b.VisPerSec)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 0 {
+		t.Fatalf("allocs/op not parsed: %+v", b.AllocsPerOp)
+	}
+	if rep.Benchmarks[1].VisPerSec != nil {
+		t.Fatal("plain benchmark must not have VisPerSec")
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkGridderKernel-8", 0.30),
+		visBench("BenchmarkDegridderKernel-8", 0.60),
+	}})
+	newP := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkGridderKernel-8", 0.29), // -3.3%: inside threshold
+		visBench("BenchmarkDegridderKernel-8", 0.75),
+	}})
+	var sb strings.Builder
+	ok, err := runCompare(&sb, oldP, newP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("compare failed:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "FAIL") {
+		t.Fatalf("unexpected FAIL line:\n%s", sb.String())
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkGridderKernel-8", 0.30),
+	}})
+	newP := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkGridderKernel-8", 0.20), // -33%
+	}})
+	var sb strings.Builder
+	ok, err := runCompare(&sb, oldP, newP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("33%% regression passed a 10%% gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "FAIL") {
+		t.Fatalf("missing FAIL line:\n%s", sb.String())
+	}
+}
+
+// The benchmark set is allowed to grow and shrink: one-sided
+// benchmarks warn but do not fail the gate.
+func TestCompareMissingBenchmarksWarn(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkGridderKernel-8", 0.30),
+		visBench("BenchmarkRetired-8", 1.0),
+	}})
+	newP := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkGridderKernel-8", 0.31),
+		visBench("BenchmarkBrandNew-8", 2.0),
+	}})
+	var sb strings.Builder
+	ok, err := runCompare(&sb, oldP, newP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("one-sided benchmarks must not fail the gate:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "BenchmarkRetired-8") || !strings.Contains(out, "BenchmarkBrandNew-8") {
+		t.Fatalf("missing WARN lines for one-sided benchmarks:\n%s", out)
+	}
+}
+
+// ns/op-only benchmarks fall back to inverse op time; mixing metric
+// kinds between the two sides is not comparable and only warns.
+func TestCompareNsPerOpFallbackAndMixedKinds(t *testing.T) {
+	dir := t.TempDir()
+	nsBench := func(name string, ns float64) Benchmark {
+		return Benchmark{Name: name, Iterations: 10, NsPerOp: ns}
+	}
+	oldP := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		nsBench("BenchmarkFFT-8", 1000),
+		nsBench("BenchmarkMixed-8", 1000),
+	}})
+	newP := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		nsBench("BenchmarkFFT-8", 2000), // 2x slower
+		visBench("BenchmarkMixed-8", 0.5),
+	}})
+	var sb strings.Builder
+	ok, err := runCompare(&sb, oldP, newP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("2x ns/op regression passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "BenchmarkMixed-8") || !strings.Contains(sb.String(), "not comparable") {
+		t.Fatalf("mixed metric kinds must warn:\n%s", sb.String())
+	}
+}
+
+func TestCompareNothingComparableErrors(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkA-8", 1),
+	}})
+	newP := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkB-8", 1),
+	}})
+	var sb strings.Builder
+	if _, err := runCompare(&sb, oldP, newP, 10); err == nil {
+		t.Fatal("disjoint benchmark sets must be an error, not a silent pass")
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/perfmodel"
 	"repro/internal/report"
 	"repro/internal/sky"
 
@@ -71,8 +73,21 @@ func runMeasured(scale float64) {
 	t.Render(os.Stdout)
 
 	fmt.Printf("\nvisibilities gridded: %.0f (workload generation took %.2fs)\n", nvis, fillTime.Seconds())
-	fmt.Printf("gridding   : %6.1f MVis/s\n", nvis/gridTimes.Total().Seconds()/1e6)
-	fmt.Printf("degridding : %6.1f MVis/s\n", nvis/degridTimes.Total().Seconds()/1e6)
+	gridMVis := nvis / gridTimes.Total().Seconds() / 1e6
+	degridMVis := nvis / degridTimes.Total().Seconds() / 1e6
+
+	// Roofline check: the same instruction-mix model that produces
+	// Fig. 10, instantiated for a host-like CPU (arch.HostLike) and this
+	// run's exact operation counts. Exceeding 100% means the kernels
+	// beat the model's rho = 17 sincos assumption, which the phasor
+	// recurrence is designed to do.
+	host := arch.HostLike(runtime.GOMAXPROCS(0))
+	d := perfmodel.FromPlan("measured", obs.Plan, len(obs.Simulator.Baselines()), cfg.NrTimesteps)
+	modelGrid, modelDegrid := perfmodel.ThroughputMVisPerSec(host, d)
+	fmt.Printf("gridding   : %6.1f MVis/s (%.0f%% of the %s roofline, %.1f MVis/s)\n",
+		gridMVis, 100*gridMVis/modelGrid, host.Name, modelGrid)
+	fmt.Printf("degridding : %6.1f MVis/s (%.0f%% of the %s roofline, %.1f MVis/s)\n",
+		degridMVis, 100*degridMVis/modelDegrid, host.Name, modelDegrid)
 	frac := (gridTimes.Gridder + degridTimes.Degridder).Seconds() / cycle.Total().Seconds()
 	fmt.Printf("gridder+degridder share: %.1f%% (paper: >93%%)\n", 100*frac)
 

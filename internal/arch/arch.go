@@ -136,6 +136,38 @@ func Pascal() *Platform {
 	}
 }
 
+// HostLike returns a model of the commodity x86-64 machine this
+// reproduction runs on, for rooflining the measured Go kernels against
+// the same model that produces Fig. 10: cores CPU cores at a nominal
+// 2.7 GHz, dual FMA issue, 4-lane (256-bit double) vectors — the shape
+// the hand-vectorized kernels in internal/core target. It is NOT part
+// of Platforms(): the paper's figures stay exactly the three Table I
+// systems.
+//
+// The sincos constant is calibrated to xmath.SincosFast (~86 cycles
+// per scalar pair, ~172 dual-issue slots). Note the measured kernels
+// can exceed this roofline: the phasor-rotation recurrence amortizes
+// one sincos over up to 64 channels, raising the effective FMA/sincos
+// ratio far beyond the rho = 17 the model assumes for the paper's
+// kernels.
+func HostLike(cores int) *Platform {
+	if cores < 1 {
+		cores = 1
+	}
+	return &Platform{
+		Name: "HOST", Model: "generic x86-64 host", Type: "CPU",
+		Architecture: "amd64",
+		ClockGHz:     2.7,
+		NrICs:        1, NrComputeUnits: cores, FPUInstrPerCyc: 2, VectorSize: 4,
+		// FMA-counted double-precision peak of the configuration above.
+		PeakTFlops: float64(cores) * 2.7e9 * 2 * 4 * 2 / 1e12,
+		MemGB:      8, MemBandwidthGBs: 20, TDPWatts: 95,
+		Sincos:           SincosSoftwareALU,
+		SincosSlots:      172,
+		KernelPowerWatts: 65,
+	}
+}
+
 // Platforms returns the three systems of Table I in the paper's order.
 func Platforms() []*Platform {
 	return []*Platform{Haswell(), Fiji(), Pascal()}

@@ -143,3 +143,36 @@ func TestMixOpsPerSec(t *testing.T) {
 		t.Fatalf("peak ops = %g", got)
 	}
 }
+
+// TestHostLike pins the synthetic host platform used by cmd/idgbench
+// for its measured-vs-roofline readout.
+func TestHostLike(t *testing.T) {
+	h := HostLike(4)
+	if h.NrComputeUnits != 4 {
+		t.Fatalf("cores = %d", h.NrComputeUnits)
+	}
+	// Peak must be cores * clock * FPU issue * vector width * 2 (FMA).
+	want := 4 * 2.7e9 * 2 * 4 * 2 / 1e12
+	if math.Abs(h.PeakTFlops-want) > 1e-9 {
+		t.Fatalf("PeakTFlops = %g, want %g", h.PeakTFlops, want)
+	}
+	// Degenerate core counts clamp to one unit instead of a zero roof.
+	if h0 := HostLike(0); h0.NrComputeUnits < 1 || h0.PeakTFlops <= 0 {
+		t.Fatalf("HostLike(0) = %+v", h0)
+	}
+	// The sincos-bound mix fraction must behave like the other ALU
+	// platforms: well below peak at rho=1, approaching peak at high rho.
+	if f := h.MixFraction(1); f > 0.2 {
+		t.Fatalf("host at rho=1 should be sincos-bound, got fraction %.3f", f)
+	}
+	if f := h.MixFraction(4096); f < 0.9 {
+		t.Fatalf("host at rho=4096 should approach peak, got fraction %.3f", f)
+	}
+	// HOST is a diagnostic platform, not a paper row: it must not leak
+	// into the Fig. 9-16 platform sweeps.
+	for _, p := range Platforms() {
+		if p.Name == h.Name {
+			t.Fatal("HostLike leaked into Platforms()")
+		}
+	}
+}

@@ -1,0 +1,248 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// The hand-vectorized inner loops of the gridder and degridder
+// (see simd_amd64.go for the contract and vector layout). All three
+// routines are leaf functions: NOSPLIT, no calls, VZEROUPPER before
+// returning to Go code.
+
+// func rotAccQuads(acc, r0, i0, r1, i1, r2, i2, r3, i3 *float64, nq int, ph *float64)
+//
+// Gridder channel loop, four channels per iteration. acc points at a
+// [32]float64 block: eight accumulators x four lanes, accumulator k's
+// lanes at acc[4k:4k+4]. ph points at [10]float64: per-lane phasor
+// sin at ph[0:4], cos at ph[4:8], and the four-channel step rotator
+// sin/cos at ph[8], ph[9]. The phasor register state is NOT written
+// back: callers re-seed per resync chunk.
+TEXT ·rotAccQuads(SB), NOSPLIT, $0-88
+	MOVQ acc+0(FP), AX
+	MOVQ r0+8(FP), SI
+	MOVQ i0+16(FP), DI
+	MOVQ r1+24(FP), R8
+	MOVQ i1+32(FP), R9
+	MOVQ r2+40(FP), R10
+	MOVQ i2+48(FP), R11
+	MOVQ r3+56(FP), R12
+	MOVQ i3+64(FP), R13
+	MOVQ nq+72(FP), DX
+	MOVQ ph+80(FP), BX
+
+	VMOVUPD      (BX), Y0       // ps lanes
+	VMOVUPD      32(BX), Y1     // pc lanes
+	VBROADCASTSD 64(BX), Y2     // sin(4*delta)
+	VBROADCASTSD 72(BX), Y3     // cos(4*delta)
+
+	VMOVUPD (AX), Y4
+	VMOVUPD 32(AX), Y5
+	VMOVUPD 64(AX), Y6
+	VMOVUPD 96(AX), Y7
+	VMOVUPD 128(AX), Y8
+	VMOVUPD 160(AX), Y9
+	VMOVUPD 192(AX), Y10
+	VMOVUPD 224(AX), Y11
+
+quadloop:
+	VMOVUPD      (SI), Y12      // vr, correlation 0
+	VMOVUPD      (DI), Y13      // vi
+	VFMADD231PD  Y1, Y12, Y4    // a0 += vr*pc
+	VFNMADD231PD Y0, Y13, Y4    // a0 -= vi*ps
+	VFMADD231PD  Y0, Y12, Y5    // a1 += vr*ps
+	VFMADD231PD  Y1, Y13, Y5    // a1 += vi*pc
+	VMOVUPD      (R8), Y12
+	VMOVUPD      (R9), Y13
+	VFMADD231PD  Y1, Y12, Y6
+	VFNMADD231PD Y0, Y13, Y6
+	VFMADD231PD  Y0, Y12, Y7
+	VFMADD231PD  Y1, Y13, Y7
+	VMOVUPD      (R10), Y12
+	VMOVUPD      (R11), Y13
+	VFMADD231PD  Y1, Y12, Y8
+	VFNMADD231PD Y0, Y13, Y8
+	VFMADD231PD  Y0, Y12, Y9
+	VFMADD231PD  Y1, Y13, Y9
+	VMOVUPD      (R12), Y12
+	VMOVUPD      (R13), Y13
+	VFMADD231PD  Y1, Y12, Y10
+	VFNMADD231PD Y0, Y13, Y10
+	VFMADD231PD  Y0, Y12, Y11
+	VFMADD231PD  Y1, Y13, Y11
+
+	// Advance the phasor lanes by four channels:
+	// ps' = ps*dc4 + pc*ds4, pc' = pc*dc4 - ps*ds4.
+	VMULPD       Y3, Y0, Y14
+	VMULPD       Y3, Y1, Y15
+	VFMADD231PD  Y2, Y1, Y14
+	VFNMADD231PD Y2, Y0, Y15
+	VMOVAPD      Y14, Y0
+	VMOVAPD      Y15, Y1
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	DECQ DX
+	JNZ  quadloop
+
+	VMOVUPD Y4, (AX)
+	VMOVUPD Y5, 32(AX)
+	VMOVUPD Y6, 64(AX)
+	VMOVUPD Y7, 96(AX)
+	VMOVUPD Y8, 128(AX)
+	VMOVUPD Y9, 160(AX)
+	VMOVUPD Y10, 192(AX)
+	VMOVUPD Y11, 224(AX)
+	VZEROUPPER
+	RET
+
+// func conjAccQuads(out, phRe, phIm, p0r, p0i, p1r, p1i, p2r, p2i, p3r, p3i *float64, nq int)
+//
+// Degridder pixel loop, four pixels per iteration: accumulates
+// sum_i conj(phasor_i) * pixel_i over 4*nq pixels into the eight
+// scalars at out (re/im per correlation). Vector partial sums reduce
+// lane 0+1+2+3 on exit and ADD into out.
+TEXT ·conjAccQuads(SB), NOSPLIT, $0-96
+	MOVQ out+0(FP), AX
+	MOVQ phRe+8(FP), BX
+	MOVQ phIm+16(FP), CX
+	MOVQ p0r+24(FP), SI
+	MOVQ p0i+32(FP), DI
+	MOVQ p1r+40(FP), R8
+	MOVQ p1i+48(FP), R9
+	MOVQ p2r+56(FP), R10
+	MOVQ p2i+64(FP), R11
+	MOVQ p3r+72(FP), R12
+	MOVQ p3i+80(FP), R13
+	MOVQ nq+88(FP), DX
+
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+
+pixloop:
+	VMOVUPD (BX), Y0            // cr = phRe
+	VMOVUPD (CX), Y1            // -ci = phIm (conjugate phasor)
+	VMOVUPD      (SI), Y12      // vr, correlation 0
+	VMOVUPD      (DI), Y13      // vi
+	VFMADD231PD  Y0, Y12, Y4    // s_re += vr*cr
+	VFMADD231PD  Y1, Y13, Y4    // s_re += vi*phIm  (= -vi*ci)
+	VFNMADD231PD Y1, Y12, Y5    // s_im -= vr*phIm  (= +vr*ci)
+	VFMADD231PD  Y0, Y13, Y5    // s_im += vi*cr
+	VMOVUPD      (R8), Y12
+	VMOVUPD      (R9), Y13
+	VFMADD231PD  Y0, Y12, Y6
+	VFMADD231PD  Y1, Y13, Y6
+	VFNMADD231PD Y1, Y12, Y7
+	VFMADD231PD  Y0, Y13, Y7
+	VMOVUPD      (R10), Y12
+	VMOVUPD      (R11), Y13
+	VFMADD231PD  Y0, Y12, Y8
+	VFMADD231PD  Y1, Y13, Y8
+	VFNMADD231PD Y1, Y12, Y9
+	VFMADD231PD  Y0, Y13, Y9
+	VMOVUPD      (R12), Y12
+	VMOVUPD      (R13), Y13
+	VFMADD231PD  Y0, Y12, Y10
+	VFMADD231PD  Y1, Y13, Y10
+	VFNMADD231PD Y1, Y12, Y11
+	VFMADD231PD  Y0, Y13, Y11
+
+	ADDQ $32, BX
+	ADDQ $32, CX
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	DECQ DX
+	JNZ  pixloop
+
+	// Reduce each accumulator's lanes as (l0+l2)+(l1+l3) and add into
+	// out[k]. VEXTRACTF128 folds the upper half onto the lower; HADDPD
+	// sums the remaining pair.
+	VEXTRACTF128 $1, Y4, X12
+	VADDPD       X12, X4, X4
+	VHADDPD      X4, X4, X4
+	VEXTRACTF128 $1, Y5, X12
+	VADDPD       X12, X5, X5
+	VHADDPD      X5, X5, X5
+	VEXTRACTF128 $1, Y6, X12
+	VADDPD       X12, X6, X6
+	VHADDPD      X6, X6, X6
+	VEXTRACTF128 $1, Y7, X12
+	VADDPD       X12, X7, X7
+	VHADDPD      X7, X7, X7
+	VEXTRACTF128 $1, Y8, X12
+	VADDPD       X12, X8, X8
+	VHADDPD      X8, X8, X8
+	VEXTRACTF128 $1, Y9, X12
+	VADDPD       X12, X9, X9
+	VHADDPD      X9, X9, X9
+	VEXTRACTF128 $1, Y10, X12
+	VADDPD       X12, X10, X10
+	VHADDPD      X10, X10, X10
+	VEXTRACTF128 $1, Y11, X12
+	VADDPD       X12, X11, X11
+	VHADDPD      X11, X11, X11
+
+	VADDSD (AX), X4, X4
+	VMOVSD X4, (AX)
+	VADDSD 8(AX), X5, X5
+	VMOVSD X5, 8(AX)
+	VADDSD 16(AX), X6, X6
+	VMOVSD X6, 16(AX)
+	VADDSD 24(AX), X7, X7
+	VMOVSD X7, 24(AX)
+	VADDSD 32(AX), X8, X8
+	VMOVSD X8, 32(AX)
+	VADDSD 40(AX), X9, X9
+	VMOVSD X9, 40(AX)
+	VADDSD 48(AX), X10, X10
+	VMOVSD X10, 48(AX)
+	VADDSD 56(AX), X11, X11
+	VMOVSD X11, 56(AX)
+	VZEROUPPER
+	RET
+
+// func rotQuads(phRe, phIm, dRe, dIm *float64, nq int)
+//
+// Degridder phasor rotation pass, four pixels per iteration:
+// phIm' = phIm*dRe + phRe*dIm, phRe' = phRe*dRe - phIm*dIm.
+TEXT ·rotQuads(SB), NOSPLIT, $0-40
+	MOVQ phRe+0(FP), AX
+	MOVQ phIm+8(FP), BX
+	MOVQ dRe+16(FP), CX
+	MOVQ dIm+24(FP), SI
+	MOVQ nq+32(FP), DX
+
+rotloop:
+	VMOVUPD      (AX), Y0       // co
+	VMOVUPD      (BX), Y1       // s
+	VMOVUPD      (CX), Y2       // dRe
+	VMOVUPD      (SI), Y3       // dIm
+	VMULPD       Y2, Y1, Y4     // s*dRe
+	VFMADD231PD  Y3, Y0, Y4     // += co*dIm -> phIm'
+	VMULPD       Y2, Y0, Y5     // co*dRe
+	VFNMADD231PD Y3, Y1, Y5     // -= s*dIm -> phRe'
+	VMOVUPD      Y4, (BX)
+	VMOVUPD      Y5, (AX)
+	ADDQ         $32, AX
+	ADDQ         $32, BX
+	ADDQ         $32, CX
+	ADDQ         $32, SI
+	DECQ         DX
+	JNZ          rotloop
+	VZEROUPPER
+	RET

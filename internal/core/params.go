@@ -36,6 +36,50 @@ import (
 	"repro/internal/xmath"
 )
 
+// Precision selects the storage and arithmetic width of the kernel
+// hot loops (the gathered visibility block, the phasor buffers and the
+// accumulators). Phase arguments and sine/cosine seeds are always
+// evaluated in float64; only the per-term storage and arithmetic
+// narrow. See DESIGN.md ("Pixel tiling and precision") for the float32
+// error bound and when not to use it.
+type Precision int
+
+const (
+	// Float64 (the default) computes and accumulates in double
+	// precision.
+	Float64 Precision = iota
+	// Float32 stores the planar visibility/pixel blocks, phasors and
+	// accumulators as float32 — the paper's kernels are single
+	// precision — halving hot-loop memory traffic at the cost of an
+	// error that grows linearly with the work-item size
+	// (xmath.Float32AccumBound plus the float32 rotation drift).
+	Float32
+)
+
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "float64"
+	case Float32:
+		return "float32"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// DefaultPixelTileRows is the default pixel-tile height in subgrid
+// rows. Four rows of a 24-pixel subgrid give 96-pixel tiles: enough
+// work to amortize the per-tile setup, small enough that even a
+// two-subgrid pass fans out across a dozen cores.
+const DefaultPixelTileRows = 4
+
+// defaultVisBlockFloats bounds the planar visibility-block footprint
+// the gridder streams per pixel: 2048 floats are 16 KB in float64
+// (8 KB in float32), half a typical 32 KB L1 so the block stays
+// resident across the whole pixel tile together with the accumulators
+// and phasor state.
+const defaultVisBlockFloats = 2048
+
 // Params configures the IDG kernels.
 type Params struct {
 	// GridSize is the grid dimension in pixels.
@@ -54,6 +98,32 @@ type Params struct {
 	Taper func(nu float64) float64
 	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
 	Workers int
+	// Precision selects float64 (default) or float32 kernel storage
+	// and arithmetic.
+	Precision Precision
+	// PixelTileRows is the pixel-tile height in subgrid rows: each
+	// subgrid's pixel loop is split into tiles of this many rows, which
+	// become independently schedulable work units when a pipeline pass
+	// has fewer work items than workers. <= 0 selects
+	// DefaultPixelTileRows. Gridder results are identical for every
+	// tile size; degridder results differ only by summation
+	// association (within rounding).
+	PixelTileRows int
+	// VisBlockTimesteps bounds the time-step extent of the visibility
+	// block the gridder streams per pixel, keeping the gathered planar
+	// block cache-resident across a pixel tile. <= 0 selects an
+	// L1-sized default (defaultVisBlockFloats). The block order never
+	// changes per-pixel accumulation order, so results are identical
+	// for every block size.
+	VisBlockTimesteps int
+	// DisablePixelTiling runs every subgrid as a single whole-subgrid
+	// work unit (no intra-subgrid fan-out; used by the ablation
+	// benchmarks).
+	DisablePixelTiling bool
+	// DisableVisBlocking streams each pixel's full time range in one
+	// sweep instead of cache-sized blocks (used by the ablation
+	// benchmarks; results are identical).
+	DisableVisBlocking bool
 	// DisableBatching selects the straightforward reference kernels
 	// instead of the batch-blocked ones (used by the ablation
 	// benchmarks; the results are identical to rounding).
@@ -64,6 +134,12 @@ type Params struct {
 	// ablation benchmarks; the results are identical to within
 	// xmath.PhasorErrorBound).
 	DisablePhasorRecurrence bool
+	// DisableVectorKernels forces the generic Go tile kernels even on
+	// hardware where the hand-vectorized AVX2+FMA float64 loops are
+	// available (used by the ablation benchmarks and the property tests
+	// that compare the two paths; results agree to within the same
+	// rounding class as the scalar FMA split).
+	DisableVectorKernels bool
 }
 
 // Validate checks the parameters.
@@ -79,6 +155,12 @@ func (p *Params) Validate() error {
 		return fmt.Errorf("core: image size %g must be positive", p.ImageSize)
 	case len(p.Frequencies) == 0:
 		return fmt.Errorf("core: no frequencies")
+	case p.Precision != Float64 && p.Precision != Float32:
+		return fmt.Errorf("core: unknown precision %d", int(p.Precision))
+	case p.PixelTileRows < 0:
+		return fmt.Errorf("core: negative pixel tile rows %d", p.PixelTileRows)
+	case p.VisBlockTimesteps < 0:
+		return fmt.Errorf("core: negative visibility block %d", p.VisBlockTimesteps)
 	}
 	for i, f := range p.Frequencies {
 		if f <= 0 {
@@ -121,6 +203,11 @@ type Kernels struct {
 
 	sincos xmath.SincosFunc
 	sgFFT  *fft.Plan2D
+
+	// fastFMA records whether math.FMA is a hardware instruction here;
+	// the float64 hot loops then use the fused formulation (see
+	// xmath.HasFastFMA).
+	fastFMA bool
 
 	// Per-worker buffer pools of the pipeline hot path (see
 	// scratch.go). Both reach a steady state with zero allocations per
@@ -173,6 +260,7 @@ func NewKernels(params Params) (*Kernels, error) {
 		k.dscale = 2 * math.Pi * df / uvwsim.SpeedOfLight
 	}
 	k.rotator = xmath.PhasorRotator{Sincos: k.sincos}
+	k.fastFMA = xmath.HasFastFMA()
 	k.sgFFT = fft.NewPlan2D(sg, sg)
 	k.scratchPool.New = func() any { return new(scratch) }
 	k.subgridPool.New = func() any { return grid.NewSubgrid(sg, 0, 0) }
@@ -181,6 +269,41 @@ func NewKernels(params Params) (*Kernels, error) {
 
 // Params returns a copy of the kernel parameters.
 func (k *Kernels) Params() Params { return k.params }
+
+// tileRows resolves the configured pixel-tile height for a subgrid of
+// the given row count.
+func (k *Kernels) tileRows(rows int) int {
+	if k.params.DisablePixelTiling {
+		return rows
+	}
+	tr := k.params.PixelTileRows
+	if tr <= 0 {
+		tr = DefaultPixelTileRows
+	}
+	if tr > rows {
+		tr = rows
+	}
+	return tr
+}
+
+// visBlockSteps resolves the time-step extent of one cache-blocked
+// visibility batch for an item of nt time steps and nc channels.
+func (k *Kernels) visBlockSteps(nt, nc int) int {
+	if k.params.DisableVisBlocking {
+		return nt
+	}
+	b := k.params.VisBlockTimesteps
+	if b <= 0 {
+		b = defaultVisBlockFloats / (8 * nc)
+		if b < 4 {
+			b = 4
+		}
+	}
+	if b > nt {
+		b = nt
+	}
+	return b
+}
 
 // uvOffset returns the uv offset of a subgrid anchored at (x0, y0), in
 // wavelengths.

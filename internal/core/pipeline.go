@@ -275,13 +275,13 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 		}
 
 		start := time.Now()
-		err := k.runItems(ctx, group, ft, rep, func(i int, s *scratch) error {
+		err := k.runItems(ctx, group, ft, rep, func(i int, s *scratch, par int) error {
 			item := group[i]
 			sgr := k.getSubgrid(item.X0, item.Y0)
 			vis := s.visBuf(item.NrVisibilities())
 			vs.gather(item, vis)
 			ap, aq := k.lookupATerms(cache, vs.Baselines, item)
-			k.gridSubgridScratch(item, vs.itemUVW(item), vis, ap, aq, sgr, s)
+			k.gridSubgridScratch(item, vs.itemUVW(item), vis, ap, aq, sgr, s, par)
 			if !sgr.Finite() {
 				k.putSubgrid(sgr)
 				return fmt.Errorf("%w: non-finite subgrid (corrupt unflagged visibilities)",
@@ -365,11 +365,11 @@ func (k *Kernels) DegridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Vi
 		times.SubgridFFT += time.Since(start)
 
 		start = time.Now()
-		err := k.runItems(ctx, group, ft, rep, func(i int, s *scratch) error {
+		err := k.runItems(ctx, group, ft, rep, func(i int, s *scratch, par int) error {
 			item := group[i]
 			vis := s.visBuf(item.NrVisibilities())
 			ap, aq := k.lookupATerms(cache, vs.Baselines, item)
-			k.degridSubgridScratch(item, subgrids[i], vs.itemUVW(item), ap, aq, vis, s)
+			k.degridSubgridScratch(item, subgrids[i], vs.itemUVW(item), ap, aq, vis, s, par)
 			vs.scatter(item, vis)
 			return nil
 		})
@@ -408,19 +408,29 @@ func (k *Kernels) checkPlan(p *plan.Plan, vs *VisibilitySet) error {
 	return nil
 }
 
-// runItems executes fn(i, s) for every work item on the worker pool
-// with panic isolation, the configured failure policy, and cooperative
-// cancellation. Each worker checks one scratch arena out of the kernel
-// pool for its whole run and hands it to every fn call, so the steady
-// state of the hot path allocates nothing. A panic inside fn (or the
-// injection hook) becomes an ErrKernelPanic-wrapped ItemError;
+// runItems executes fn(i, s, par) for every work item on the worker
+// pool with panic isolation, the configured failure policy, and
+// cooperative cancellation. Each worker checks one scratch arena out of
+// the kernel pool for its whole run and hands it to every fn call, so
+// the steady state of the hot path allocates nothing. A panic inside fn
+// (or the injection hook) becomes an ErrKernelPanic-wrapped ItemError;
 // errors.Is(err, ErrBadInput) failures are never retried. The returned
 // error is nil, the first fatal *faulttol.ItemError, or an ErrCanceled
 // wrapper.
-func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faulttol.Config, rep *faulttol.Report, fn func(i int, s *scratch) error) error {
+//
+// par is the intra-item pixel-tile parallelism hint handed to fn: 1
+// while there are at least as many items as workers (item parallelism
+// alone saturates the pool), and ceil(workers/n) when a group is
+// smaller than the pool, so the spare workers pick up pixel tiles of
+// the in-flight items (runTiles) instead of idling.
+func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faulttol.Config, rep *faulttol.Report, fn func(i int, s *scratch, par int) error) error {
 	n := len(items)
 	if n == 0 {
 		return ctxErr(ctx)
+	}
+	par := 1
+	if w := k.params.workers(); w > n && !k.params.DisablePixelTiling {
+		par = (w + n - 1) / n
 	}
 	attempts := ft.Attempts()
 	runCtx, cancel := context.WithCancel(ctx)
@@ -450,7 +460,7 @@ func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faultt
 				if ft.Hook != nil {
 					ft.Hook(item, a)
 				}
-				return fn(i, s)
+				return fn(i, s, par)
 			})
 			if err == nil {
 				rep.RecordSuccess(a > 1)

@@ -7,15 +7,12 @@ package core
 // compile-time constant: the compiler fully unrolls the fixed-width
 // loops below, eliminating the loop-carried bounds checks of the
 // generic version. The gridder picks the widest specialization that
-// matches the work item's channel count.
-
-// channelReducer performs the Listing-1 reduction of one time step:
-// it accumulates nc channels of all four correlations against the
-// phasor buffers.
-type channelReducer func(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base, nc int)
+// matches the work item's channel count. The reducers are generic over
+// the kernel precision; Go instantiates a fully specialized body per
+// width, so neither precision pays for the other.
 
 // reduceGeneric handles any channel count.
-func reduceGeneric(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base, nc int) {
+func reduceGeneric[F floatT](acc *[8]F, phRe, phIm []F, re, im *[4][]F, base, nc int) {
 	for c := 0; c < nc; c++ {
 		cr, ci := phRe[c], phIm[c]
 		j := base + c
@@ -34,30 +31,10 @@ func reduceGeneric(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, 
 	}
 }
 
-// reduceFixed returns a reducer with a constant trip count.
-func reduceFixed(width int) channelReducer {
-	switch width {
-	case 4:
-		return func(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base, _ int) {
-			reduceN(acc, phRe[:4], phIm[:4], re, im, base)
-		}
-	case 8:
-		return func(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base, _ int) {
-			reduceN(acc, phRe[:8], phIm[:8], re, im, base)
-		}
-	case 16:
-		return func(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base, _ int) {
-			reduceN(acc, phRe[:16], phIm[:16], re, im, base)
-		}
-	default:
-		return reduceGeneric
-	}
-}
-
 // reduceN is the shared body: slicing the phasor buffers to a
 // constant length lets the compiler drop bounds checks in the hot
 // loop (the slice length is known at each call site above).
-func reduceN(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base int) {
+func reduceN[F floatT](acc *[8]F, phRe, phIm []F, re, im *[4][]F, base int) {
 	r0 := re[0][base:]
 	i0 := im[0][base:]
 	r1 := re[1][base:]
@@ -83,12 +60,21 @@ func reduceN(acc *[8]float64, phRe, phIm []float64, re, im *[4][]float64, base i
 	}
 }
 
-// reducerFor selects the reduction routine for a channel count.
-func reducerFor(nc int) channelReducer {
+// reduceChannels selects the reduction routine for a channel count: a
+// constant-trip-count call for the SIMD-friendly widths, the generic
+// loop otherwise. Dispatching with a switch at every call (rather than
+// returning a func once per tile) keeps the hot path free of
+// dictionary-bound closures — a function value of a generic
+// instantiation allocates when created inside generic code.
+func reduceChannels[F floatT](acc *[8]F, phRe, phIm []F, re, im *[4][]F, base, nc int) {
 	switch nc {
-	case 4, 8, 16:
-		return reduceFixed(nc)
+	case 4:
+		reduceN(acc, phRe[:4], phIm[:4], re, im, base)
+	case 8:
+		reduceN(acc, phRe[:8], phIm[:8], re, im, base)
+	case 16:
+		reduceN(acc, phRe[:16], phIm[:16], re, im, base)
 	default:
-		return reduceGeneric
+		reduceGeneric(acc, phRe, phIm, re, im, base, nc)
 	}
 }

@@ -62,36 +62,28 @@ func TestChannelSpecializationsMatchReference(t *testing.T) {
 	}
 }
 
-func TestReducerForWidths(t *testing.T) {
-	// Fixed widths exist for the power-of-two SIMD-friendly counts;
-	// anything else falls back to the generic loop.
-	for _, nc := range []int{4, 8, 16} {
-		if fnEqual(reducerFor(nc), reduceGeneric) {
-			t.Fatalf("nc=%d should use a specialized reducer", nc)
+// TestReduceChannelsWidths pins the switch dispatch: every width —
+// specialized or generic — must accumulate exactly nc channels, no
+// more, no fewer.
+func TestReduceChannelsWidths(t *testing.T) {
+	for _, nc := range []int{1, 2, 3, 4, 5, 8, 12, 16, 32} {
+		phRe := make([]float64, nc)
+		phIm := make([]float64, nc)
+		var re, im [4][]float64
+		for i := range phRe {
+			phRe[i] = 1
+		}
+		for p := range re {
+			re[p] = make([]float64, 64)
+			im[p] = make([]float64, 64)
+			for i := range re[p] {
+				re[p][i] = 1
+			}
+		}
+		var acc [8]float64
+		reduceChannels(&acc, phRe, phIm, &re, &im, 0, nc)
+		if acc[0] != float64(nc) {
+			t.Fatalf("nc=%d: accumulated %v channels", nc, acc[0])
 		}
 	}
-	for _, nc := range []int{1, 2, 3, 5, 12, 32} {
-		if !fnEqual(reducerFor(nc), reduceGeneric) {
-			t.Fatalf("nc=%d should use the generic reducer", nc)
-		}
-	}
-}
-
-// fnEqual compares reducers by probing behaviour on a width the
-// specializations cannot handle (reflection on funcs is unreliable):
-// the generic reducer respects nc, the fixed ones ignore it.
-func fnEqual(f channelReducer, _ channelReducer) bool {
-	phRe := []float64{1, 1}
-	phIm := []float64{0, 0}
-	var re, im [4][]float64
-	for p := range re {
-		re[p] = []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
-		im[p] = make([]float64, 16)
-	}
-	var acc [8]float64
-	// Ask for nc=1; the generic version accumulates exactly one
-	// channel, fixed versions accumulate their full width.
-	defer func() { recover() }()
-	f(&acc, phRe, phIm, &re, &im, 0, 1)
-	return acc[0] == 1
 }

@@ -5,41 +5,90 @@ import (
 	"repro/internal/xmath"
 )
 
+// floatT constrains the kernel element type to the two supported
+// precisions (Params.Precision). The tiled kernels are generic over it;
+// Go instantiates a fully specialized body per width, so the float64
+// path pays nothing for the float32 one existing.
+type floatT interface {
+	~float32 | ~float64
+}
+
+// kbufs holds the precision-dependent kernel buffers of one scratch
+// arena: the planar re/im backing, the phasor state, the pixel-tile
+// accumulators and the degridder's visibility sums. One instantiation
+// per precision lives in every scratch; only the one matching
+// Params.Precision ever grows.
+type kbufs[F floatT] struct {
+	planar []F // 8-plane re/im backing (gridder: vis block, degridder: pixels)
+
+	// Phasor buffers: the gridder's direct (non-recurrence) path uses
+	// phRe/phIm per channel; the degridder uses all four per pixel
+	// (current and delta phasors).
+	phRe, phIm []F
+	dRe, dIm   []F
+
+	// acc is the gridder's per-tile accumulator block, 8 floats per
+	// pixel of the tile, carried across visibility blocks. vacc is its
+	// vector-kernel analogue: 8 accumulators x 4 SIMD lanes per pixel,
+	// lane-reduced only when the tile finishes (float64/amd64 only).
+	acc  []F
+	vacc []F
+
+	// vsum is the degridder's visibility accumulator (8 floats per
+	// visibility); partial holds the per-tile partial sums when tiles
+	// run in parallel, reduced in tile order for determinism.
+	vsum, partial []F
+
+	// reP/imP are heap homes for the gridder tile's planar headers
+	// (re-derived views into the item owner's planar block): their
+	// addresses cross the any()-based FMA dispatch, which would
+	// otherwise move stack copies to the heap once per tile.
+	reP, imP [4][]F
+}
+
 // scratch holds the per-worker reusable buffers of the kernel hot
-// path: the visibility gather buffer, the planar real/imaginary
-// backing of the batched kernels, and the phasor buffers of the
-// recurrence. A scratch is owned by exactly one worker at a time
-// (handed out by Kernels.getScratch / returned by putScratch), so its
-// buffers need no synchronization. Buffers grow monotonically to the
-// largest work item seen and are reused as-is afterwards — every
-// kernel fully overwrites the prefix it slices off, so no zeroing
-// happens between items.
+// path. A scratch is owned by exactly one worker at a time (handed out
+// by Kernels.getScratch / returned by putScratch), so its buffers need
+// no synchronization. Buffers grow monotonically to the largest work
+// item seen and are reused as-is afterwards — every kernel fully
+// overwrites the prefix it slices off, so no zeroing happens between
+// items (except the accumulators, which start each tile at zero by
+// definition).
 type scratch struct {
 	vis []xmath.Matrix2 // gather/scatter buffer, one entry per visibility
 
-	planar []float64 // 8-plane re/im backing (gridder: vis, degridder: pixels)
-
-	// Phasor buffers. The gridder uses phRe/phIm per channel; the
-	// degridder uses all four per pixel (current and delta phasors)
-	// plus the hoisted phase-index/offset tables.
-	phRe, phIm []float64
-	dRe, dIm   []float64
+	// Phase tables stay float64 in both precisions: a float32 phase of
+	// magnitude ~1e4 rad would lose ~1e-3 rad to rounding, far beyond
+	// the float32 accumulation error class.
 	pIdx, pOff []float64
 
-	// acc is the gridder's per-pixel accumulator. It lives here because
-	// its address is passed to the indirect channel-reduction call, so a
-	// stack-local would escape (one heap allocation per pixel).
-	acc [8]float64
+	b64 kbufs[float64]
+	b32 kbufs[float32]
 }
 
-// growF returns (*buf)[:n], reallocating when the capacity is too
+// bufsOf selects the scratch buffer set matching the instantiated
+// precision. The type switch folds away at instantiation time.
+func bufsOf[F floatT](s *scratch) *kbufs[F] {
+	var z F
+	switch any(z).(type) {
+	case float32:
+		return any(&s.b32).(*kbufs[F])
+	default:
+		return any(&s.b64).(*kbufs[F])
+	}
+}
+
+// grow returns (*buf)[:n], reallocating when the capacity is too
 // small. The returned prefix contains stale data by design.
-func growF(buf *[]float64, n int) []float64 {
+func grow[F floatT](buf *[]F, n int) []F {
 	if cap(*buf) < n {
-		*buf = make([]float64, n)
+		*buf = make([]F, n)
 	}
 	return (*buf)[:n]
 }
+
+// growF is grow for the float64-only phase tables.
+func growF(buf *[]float64, n int) []float64 { return grow(buf, n) }
 
 // visBuf returns the gather buffer resized to n visibilities.
 func (s *scratch) visBuf(n int) []xmath.Matrix2 {

@@ -1,0 +1,30 @@
+//go:build amd64
+
+package core
+
+import "repro/internal/xmath"
+
+// vectorKernels gates the hand-vectorized (AVX2+FMA) float64 kernel
+// loops in kernels_amd64.s. Detected once at startup; the pure-Go
+// generic kernels remain the reference and the fallback (and the only
+// float32 path).
+var vectorKernels = xmath.HasAVX2FMA()
+
+// rotAccQuads is the gridder's fused rotate-and-accumulate channel
+// loop, four channels per iteration; see kernels_amd64.s and
+// gridTileVec for the layout contract.
+//
+//go:noescape
+func rotAccQuads(acc, r0, i0, r1, i1, r2, i2, r3, i3 *float64, nq int, ph *float64)
+
+// conjAccQuads is the degridder's conjugate accumulation pixel loop,
+// four pixels per iteration.
+//
+//go:noescape
+func conjAccQuads(out, phRe, phIm, p0r, p0i, p1r, p1i, p2r, p2i, p3r, p3i *float64, nq int)
+
+// rotQuads advances four per-pixel phasors per iteration by their
+// per-pixel delta phasors (the degridder's rotation pass).
+//
+//go:noescape
+func rotQuads(phRe, phIm, dRe, dIm *float64, nq int)

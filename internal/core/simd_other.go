@@ -1,0 +1,20 @@
+//go:build !amd64
+
+package core
+
+// vectorKernels is false off amd64: the generic Go kernels are the
+// only implementation, and the stubs below are never reached (every
+// call site is gated on vectorKernels, so the linker drops them).
+const vectorKernels = false
+
+func rotAccQuads(acc, r0, i0, r1, i1, r2, i2, r3, i3 *float64, nq int, ph *float64) {
+	panic("core: rotAccQuads without vector kernels")
+}
+
+func conjAccQuads(out, phRe, phIm, p0r, p0i, p1r, p1i, p2r, p2i, p3r, p3i *float64, nq int) {
+	panic("core: conjAccQuads without vector kernels")
+}
+
+func rotQuads(phRe, phIm, dRe, dIm *float64, nq int) {
+	panic("core: rotQuads without vector kernels")
+}

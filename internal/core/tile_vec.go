@@ -1,0 +1,235 @@
+package core
+
+// The hand-vectorized float64 tile kernels. They drive the AVX2+FMA
+// loops in kernels_amd64.s and are selected (gridSubgridScratch /
+// degridSubgridScratch) only when Kernels.vectorTiles() holds; the
+// !amd64 stubs in simd_other.go are therefore unreachable. Compared to
+// the generic tiles the arithmetic runs four channels (gridder) or
+// four pixels (degridder) per instruction, with unconditionally fused
+// multiply-adds — the scalar math.FMA path compiles to a runtime
+// fallback branch per call site under the default GOAMD64 level, which
+// is what these kernels exist to avoid.
+
+import (
+	"repro/internal/grid"
+	"repro/internal/plan"
+	"repro/internal/uvwsim"
+	"repro/internal/xmath"
+)
+
+// chunkQuads is the resync cadence of the vector gridder in channel
+// quads: after chunkQuads iterations of rotAccQuads (4 channels each)
+// the phasor lanes are re-seeded from an exact evaluation, preserving
+// the xmath.DefaultPhasorResync drift cadence of the scalar path.
+const chunkQuads = xmath.DefaultPhasorResync / 4
+
+// gridTileVec is gridTile on the vector kernels. The channel loop runs
+// four-wide: the four phasor lanes hold channels c..c+3, seeded from
+// two sincos evaluations (base and delta) by three complex rotations,
+// and advanced four channels at a time by the rotator exp(i*4*delta)
+// (double-angle applied twice). Each pixel owns eight accumulators of
+// four lanes each (scratch vacc); lanes persist across visibility
+// blocks and fold only when the tile finishes, so — exactly like the
+// scalar tile — the per-pixel result is independent of the tile and
+// block decomposition. Leftover channels (nc mod 4) accumulate
+// scalar-style into lane 0.
+//
+// Error class: the lane seeding applies at most three rotations to an
+// exact sincos pair and every lane is re-seeded each chunk, so the
+// per-channel phasor drift stays within the same
+// xmath.PhasorDriftBound class as the scalar recurrence; the fused
+// accumulation matches the scalar FMA split to reassociation.
+func gridTileVec(k *Kernels, item plan.WorkItem, uvw []uvwsim.UVW, sb *scratch, atermP, atermQ []xmath.Matrix2, out *grid.Subgrid, ts *scratch, row0, row1 int) {
+	sg := k.params.SubgridSize
+	nt, nc := item.NrTimesteps, item.NrChannels
+	re, im := visPlanes[float64](sb, nt*nc)
+	uOff, vOff := k.uvOffset(item.X0, item.Y0)
+	wOff := item.WOffset
+	pix0, pix1 := row0*sg, row1*sg
+	vacc := growF(&ts.b64.vacc, 32*(pix1-pix0))
+	for i := range vacc {
+		vacc[i] = 0
+	}
+	nq := nc / 4
+	tail0 := 4 * nq
+	scale0 := k.scale[item.Channel0]
+	block := k.visBlockSteps(nt, nc)
+	// ph is the register file handed to rotAccQuads: per-lane phasor
+	// sin [0:4] and cos [4:8], then the four-channel rotator sin/cos.
+	var ph [10]float64
+	for t0 := 0; t0 < nt; t0 += block {
+		t1 := t0 + block
+		if t1 > nt {
+			t1 = nt
+		}
+		for i := pix0; i < pix1; i++ {
+			l, m, n := k.l[i], k.m[i], k.n[i]
+			phaseOffset := twoPi * (uOff*l + vOff*m + wOff*n)
+			a := vacc[32*(i-pix0) : 32*(i-pix0)+32]
+			for t := t0; t < t1; t++ {
+				c3 := uvw[t]
+				phaseIndex := c3.U*l + c3.V*m + c3.W*n
+				base := phaseIndex*scale0 - phaseOffset
+				delta := phaseIndex * k.dscale
+				ds, dc := k.sincos(delta)
+				ds2, dc2 := 2*ds*dc, dc*dc-ds*ds
+				ph[8], ph[9] = 2*ds2*dc2, dc2*dc2-ds2*ds2
+				j := t * nc
+				for q0 := 0; q0 < nq; q0 += chunkQuads {
+					qn := nq - q0
+					if qn > chunkQuads {
+						qn = chunkQuads
+					}
+					c0 := 4 * q0
+					sv, cv := k.sincos(base + float64(c0)*delta)
+					ph[0], ph[4] = sv, cv
+					s1, c1 := sv*dc+cv*ds, cv*dc-sv*ds
+					ph[1], ph[5] = s1, c1
+					s2, c2 := s1*dc+c1*ds, c1*dc-s1*ds
+					ph[2], ph[6] = s2, c2
+					ph[3], ph[7] = s2*dc+c2*ds, c2*dc-s2*ds
+					jj := j + c0
+					rotAccQuads(&a[0],
+						&re[0][jj], &im[0][jj], &re[1][jj], &im[1][jj],
+						&re[2][jj], &im[2][jj], &re[3][jj], &im[3][jj],
+						qn, &ph[0])
+				}
+				if tail0 < nc {
+					sv, cv := k.sincos(base + float64(tail0)*delta)
+					for c := tail0; c < nc; c++ {
+						jj := j + c
+						vr, vi := re[0][jj], im[0][jj]
+						a[0] += vr*cv - vi*sv
+						a[4] += vr*sv + vi*cv
+						vr, vi = re[1][jj], im[1][jj]
+						a[8] += vr*cv - vi*sv
+						a[12] += vr*sv + vi*cv
+						vr, vi = re[2][jj], im[2][jj]
+						a[16] += vr*cv - vi*sv
+						a[20] += vr*sv + vi*cv
+						vr, vi = re[3][jj], im[3][jj]
+						a[24] += vr*cv - vi*sv
+						a[28] += vr*sv + vi*cv
+						sv, cv = sv*dc+cv*ds, cv*dc-sv*ds
+					}
+				}
+			}
+		}
+	}
+	for i := pix0; i < pix1; i++ {
+		v := vacc[32*(i-pix0) : 32*(i-pix0)+32]
+		// Lane fold (l0+l2)+(l1+l3), matching the in-register reduce of
+		// conjAccQuads; any fixed order preserves decomposition
+		// independence, since the lanes themselves are.
+		var q [8]float64
+		for p := 0; p < 8; p++ {
+			q[p] = (v[4*p] + v[4*p+2]) + (v[4*p+1] + v[4*p+3])
+		}
+		sum := xmath.Matrix2{
+			complex(q[0], q[1]), complex(q[2], q[3]),
+			complex(q[4], q[5]), complex(q[6], q[7]),
+		}
+		k.storePixel(out, i, sum, atermP, atermQ)
+	}
+}
+
+// degridTileVec is degridTile on the vector kernels: the per-pixel
+// phasor rotation pass runs through rotQuads and the conjugate
+// accumulation through conjAccQuads, four pixels per instruction, with
+// scalar loops covering the nc-independent seeding and the n mod 4
+// pixel tail. Tail pixels and the vector lane fold combine in a local
+// accumulator before touching dst, keeping the one-addition-per-
+// element property the serial ≡ parallel bitwise guarantee of
+// degridSubgridTiled rests on.
+func degridTileVec(k *Kernels, item plan.WorkItem, sb *scratch, uvw []uvwsim.UVW, ts *scratch, row0, row1 int, dst []float64) {
+	sg := k.params.SubgridSize
+	nc := item.NrChannels
+	i0, i1 := row0*sg, row1*sg
+	n := i1 - i0
+	nq := n / 4
+	tail0 := 4 * nq
+	tb := &ts.b64
+	pIdx := growF(&ts.pIdx, n)
+	phRe := grow(&tb.phRe, n)
+	phIm := grow(&tb.phIm, n)
+	useRec := k.useRecurrence(nc)
+	var dRe, dIm []float64
+	if useRec {
+		dRe = grow(&tb.dRe, n)
+		dIm = grow(&tb.dIm, n)
+	}
+	l, m, nn := k.l[i0:i1], k.m[i0:i1], k.n[i0:i1]
+	pre, pim := visPlanes[float64](sb, sg*sg)
+	off := sb.pOff[i0:i1]
+	var tpre, tpim [4][]float64
+	for p := 0; p < 4; p++ {
+		tpre[p] = pre[p][i0:i1]
+		tpim[p] = pim[p][i0:i1]
+	}
+	scale0 := k.scale[item.Channel0]
+	for t := 0; t < item.NrTimesteps; t++ {
+		c3 := uvw[t]
+		for i := 0; i < n; i++ {
+			pIdx[i] = c3.U*l[i] + c3.V*m[i] + c3.W*nn[i]
+		}
+		if useRec {
+			for i := 0; i < n; i++ {
+				sv, cv := k.sincos(pIdx[i]*scale0 - off[i])
+				phIm[i], phRe[i] = sv, cv
+				sv, cv = k.sincos(pIdx[i] * k.dscale)
+				dIm[i], dRe[i] = sv, cv
+			}
+		}
+		for c := 0; c < nc; c++ {
+			scale := k.scale[item.Channel0+c]
+			switch {
+			case !useRec, c != 0 && c%xmath.DefaultPhasorResync == 0:
+				for i := 0; i < n; i++ {
+					sv, cv := k.sincos(pIdx[i]*scale - off[i])
+					phIm[i], phRe[i] = sv, cv
+				}
+			case c == 0:
+				// Seeded above.
+			default:
+				if nq > 0 {
+					rotQuads(&phRe[0], &phIm[0], &dRe[0], &dIm[0], nq)
+				}
+				for i := tail0; i < n; i++ {
+					s, co := phIm[i], phRe[i]
+					phIm[i] = s*dRe[i] + co*dIm[i]
+					phRe[i] = co*dRe[i] - s*dIm[i]
+				}
+			}
+			// Sum the tile's contribution into a local accumulator first
+			// (tail pixels, then the lane fold conjAccQuads adds on top),
+			// so dst sees exactly ONE addition per element per (t, c) —
+			// the property the serial ≡ parallel bitwise guarantee of
+			// degridSubgridTiled rests on.
+			var t8 [8]float64
+			for i := tail0; i < n; i++ {
+				cr, ci := phRe[i], -phIm[i] // conjugate phasor
+				vr, vi := tpre[0][i], tpim[0][i]
+				t8[0] += vr*cr - vi*ci
+				t8[1] += vr*ci + vi*cr
+				vr, vi = tpre[1][i], tpim[1][i]
+				t8[2] += vr*cr - vi*ci
+				t8[3] += vr*ci + vi*cr
+				vr, vi = tpre[2][i], tpim[2][i]
+				t8[4] += vr*cr - vi*ci
+				t8[5] += vr*ci + vi*cr
+				vr, vi = tpre[3][i], tpim[3][i]
+				t8[6] += vr*cr - vi*ci
+				t8[7] += vr*ci + vi*cr
+			}
+			if nq > 0 {
+				conjAccQuads(&t8[0], &phRe[0], &phIm[0],
+					&tpre[0][0], &tpim[0][0], &tpre[1][0], &tpim[1][0],
+					&tpre[2][0], &tpim[2][0], &tpre[3][0], &tpim[3][0], nq)
+			}
+			out := (*[8]float64)(dst[8*(t*nc+c):])
+			for j := 0; j < 8; j++ {
+				out[j] += t8[j]
+			}
+		}
+	}
+}

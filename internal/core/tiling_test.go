@@ -1,0 +1,438 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/plan"
+	"repro/internal/uvwsim"
+	"repro/internal/xmath"
+)
+
+// tilingKernels builds kernels over a uniform channel comb with the
+// given subgrid size; mod tweaks the tiling/precision knobs.
+func tilingKernels(t *testing.T, sg, nc int, mod func(*Params)) *Kernels {
+	t.Helper()
+	freqs := make([]float64, nc)
+	for i := range freqs {
+		freqs[i] = 150e6 + float64(i)*250e3
+	}
+	params := Params{
+		GridSize: 256, SubgridSize: sg, ImageSize: 0.1, Frequencies: freqs,
+		Sincos: xmath.SincosAccurate,
+	}
+	if mod != nil {
+		mod(&params)
+	}
+	k, err := NewKernels(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// tilingItem builds a random work item with its uvw track and
+// visibilities, returning the largest visibility component magnitude.
+func tilingItem(seed uint64, nt, nc int) (plan.WorkItem, []uvwsim.UVW, []xmath.Matrix2, float64) {
+	item := plan.WorkItem{NrTimesteps: nt, NrChannels: nc, X0: 100, Y0: 90}
+	rnd := newTestRand(seed)
+	uvw := make([]uvwsim.UVW, nt)
+	for i := range uvw {
+		uvw[i] = uvwsim.UVW{U: 50 * rnd(), V: 50 * rnd(), W: 5 * rnd()}
+	}
+	vis := make([]xmath.Matrix2, nt*nc)
+	maxAmp := 0.0
+	for i := range vis {
+		for p := 0; p < 4; p++ {
+			vis[i][p] = complex(rnd(), rnd())
+			if a := cmplx.Abs(vis[i][p]); a > maxAmp {
+				maxAmp = a
+			}
+		}
+	}
+	return item, uvw, vis, maxAmp
+}
+
+// randomSubgrid fills a subgrid with random pixels for degridder tests.
+func randomSubgrid(sg int, item plan.WorkItem, seed uint64) (*grid.Subgrid, float64) {
+	in := grid.NewSubgrid(sg, item.X0, item.Y0)
+	rnd := newTestRand(seed)
+	maxAmp := 0.0
+	for c := range in.Data {
+		for i := range in.Data[c] {
+			in.Data[c][i] = complex(rnd(), rnd())
+			if a := cmplx.Abs(in.Data[c][i]); a > maxAmp {
+				maxAmp = a
+			}
+		}
+	}
+	return in, maxAmp
+}
+
+// subgridsEqual reports whether two subgrids hold numerically
+// identical pixels (the decomposition-invariance contract of the
+// gridder: per-pixel accumulation order does not depend on the tile or
+// block shape).
+func subgridsEqual(a, b *grid.Subgrid) bool {
+	for p := range a.Data {
+		for i := range a.Data[p] {
+			if a.Data[p][i] != b.Data[p][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func visEqual(a, b []xmath.Matrix2) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// float32GridBound is the documented float32 gridder error bound for
+// one pixel: every one of the n phasor applications can be off by the
+// float64 recurrence bound plus the float32 rotation drift, and the
+// accumulation itself rounds in float32 (xmath.Float32AccumBound).
+func float32GridBound(n int, maxAmp, phaseBound float64) float64 {
+	drift := phaseBound + xmath.Float32PhasorDriftBound(xmath.DefaultPhasorResync)
+	sumAbs := math.Sqrt2 * float64(n) * maxAmp
+	return 2*math.Sqrt2*float64(n)*maxAmp*drift + 4*xmath.Float32AccumBound(n, sumAbs)
+}
+
+// TestGridderDecompositionInvariance: for a fixed precision and code
+// path, the gridder result must be numerically identical for EVERY
+// pixel-tile height and visibility-block size, including degenerate
+// ones — the per-pixel accumulation order is decomposition-invariant
+// by construction.
+func TestGridderDecompositionInvariance(t *testing.T) {
+	const sg, nt, nc = 8, 12, 16
+	item, uvw, vis, _ := tilingItem(51, nt, nc)
+	for _, tc := range []struct {
+		name string
+		mod  func(*Params)
+	}{
+		{"Float64", nil},
+		{"Float64NoVec", func(p *Params) { p.DisableVectorKernels = true }},
+		{"Float32", func(p *Params) { p.Precision = Float32 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := tilingKernels(t, sg, nc, tc.mod)
+			want := grid.NewSubgrid(sg, item.X0, item.Y0)
+			base.GridSubgrid(item, uvw, vis, nil, nil, want)
+			variants := []func(*Params){}
+			for tr := 1; tr <= sg+3; tr++ {
+				tr := tr
+				variants = append(variants, func(p *Params) { p.PixelTileRows = tr })
+			}
+			for _, bl := range []int{1, 3, 5, nt, nt + 7} {
+				bl := bl
+				variants = append(variants, func(p *Params) { p.VisBlockTimesteps = bl })
+			}
+			variants = append(variants,
+				func(p *Params) { p.DisablePixelTiling = true },
+				func(p *Params) { p.DisableVisBlocking = true },
+				func(p *Params) { p.DisablePixelTiling = true; p.DisableVisBlocking = true },
+				func(p *Params) { p.PixelTileRows = 1; p.VisBlockTimesteps = 1 },
+			)
+			for vi, v := range variants {
+				k := tilingKernels(t, sg, nc, func(p *Params) {
+					if tc.mod != nil {
+						tc.mod(p)
+					}
+					v(p)
+				})
+				got := grid.NewSubgrid(sg, item.X0, item.Y0)
+				k.GridSubgrid(item, uvw, vis, nil, nil, got)
+				if !subgridsEqual(want, got) {
+					t.Fatalf("variant %d: gridder result depends on the tile/block decomposition", vi)
+				}
+			}
+		})
+	}
+}
+
+// TestGridderTiledMatchesReference: every tile size in [1, subgrid]
+// and both precisions against the float64 reference transcription,
+// within the documented bounds.
+func TestGridderTiledMatchesReference(t *testing.T) {
+	const sg, nt, nc = 16, 12, 16
+	item, uvw, vis, maxAmp := tilingItem(53, nt, nc)
+	ref := tilingKernels(t, sg, nc, func(p *Params) { p.DisableBatching = true })
+	want := grid.NewSubgrid(sg, item.X0, item.Y0)
+	ref.GridSubgrid(item, uvw, vis, nil, nil, want)
+	phaseBound := recurrencePhaseBound(ref, item, uvw)
+	tol64 := 2 * math.Sqrt2 * float64(nt*nc) * maxAmp * phaseBound
+	tol32 := float32GridBound(nt*nc, maxAmp, phaseBound)
+	for _, prec := range []Precision{Float64, Float32} {
+		tol := tol64
+		if prec == Float32 {
+			tol = tol32
+		}
+		for tr := 1; tr <= sg; tr++ {
+			k := tilingKernels(t, sg, nc, func(p *Params) {
+				p.Precision = prec
+				p.PixelTileRows = tr
+			})
+			got := grid.NewSubgrid(sg, item.X0, item.Y0)
+			k.GridSubgrid(item, uvw, vis, nil, nil, got)
+			if d := got.MaxAbsDiff(want); d > tol {
+				t.Fatalf("%v tile rows %d: differs from reference by %g (bound %g)", prec, tr, d, tol)
+			}
+		}
+	}
+}
+
+// TestDegridderTiledMatchesReference is the degridder analogue; the
+// per-visibility sum runs over the subgrid's pixels, so the bounds
+// scale with the pixel count.
+func TestDegridderTiledMatchesReference(t *testing.T) {
+	const sg, nt, nc = 16, 10, 16
+	item, uvw, _, _ := tilingItem(57, nt, nc)
+	in, maxAmp := randomSubgrid(sg, item, 59)
+	ref := tilingKernels(t, sg, nc, func(p *Params) { p.DisableBatching = true })
+	want := make([]xmath.Matrix2, nt*nc)
+	ref.DegridSubgrid(item, in, uvw, nil, nil, want)
+	phaseBound := recurrencePhaseBound(ref, item, uvw)
+	npix := sg * sg
+	tol64 := 2 * math.Sqrt2 * float64(npix) * maxAmp * phaseBound
+	tol32 := float32GridBound(npix, maxAmp, phaseBound)
+	for _, prec := range []Precision{Float64, Float32} {
+		tol := tol64
+		if prec == Float32 {
+			tol = tol32
+		}
+		for tr := 1; tr <= sg; tr++ {
+			k := tilingKernels(t, sg, nc, func(p *Params) {
+				p.Precision = prec
+				p.PixelTileRows = tr
+			})
+			got := make([]xmath.Matrix2, nt*nc)
+			k.DegridSubgrid(item, in, uvw, nil, nil, got)
+			maxDiff := 0.0
+			for i := range got {
+				for p := 0; p < 4; p++ {
+					if d := cmplx.Abs(got[i][p] - want[i][p]); d > maxDiff {
+						maxDiff = d
+					}
+				}
+			}
+			if maxDiff > tol {
+				t.Fatalf("%v tile rows %d: differs from reference by %g (bound %g)", prec, tr, maxDiff, tol)
+			}
+		}
+	}
+}
+
+// TestDegridderSerialParallelBitwise: for a FIXED tile size, running
+// the tiles on one worker or many must give numerically identical
+// visibilities — the parallel path combines per-tile partials in tile
+// order, replaying the serial addition sequence. Subgrid sizes 8 and
+// 10 cover both the quad-aligned and the tail-carrying vector paths.
+func TestDegridderSerialParallelBitwise(t *testing.T) {
+	const nt, nc = 9, 8
+	for _, sg := range []int{8, 10} {
+		for _, prec := range []Precision{Float64, Float32} {
+			item, uvw, _, _ := tilingItem(61, nt, nc)
+			in, _ := randomSubgrid(sg, item, 63)
+			mod := func(workers int) func(*Params) {
+				return func(p *Params) {
+					p.Precision = prec
+					p.PixelTileRows = 1
+					p.Workers = workers
+				}
+			}
+			serial := tilingKernels(t, sg, nc, mod(1))
+			parallel := tilingKernels(t, sg, nc, mod(8))
+			want := make([]xmath.Matrix2, nt*nc)
+			serial.DegridSubgrid(item, in, uvw, nil, nil, want)
+			got := make([]xmath.Matrix2, nt*nc)
+			parallel.DegridSubgrid(item, in, uvw, nil, nil, got)
+			if !visEqual(want, got) {
+				t.Fatalf("sg=%d %v: parallel degridder differs from serial", sg, prec)
+			}
+		}
+	}
+}
+
+// TestKernelsConcurrentDeterminism: concurrent kernel invocations with
+// intra-subgrid tile parallelism must all reproduce the single-worker
+// result exactly. Run under -race in CI, this also proves the tile
+// fan-out and scratch handoff are data-race free.
+func TestKernelsConcurrentDeterminism(t *testing.T) {
+	const sg, nt, nc = 10, 8, 8
+	item, uvw, vis, _ := tilingItem(67, nt, nc)
+	in, _ := randomSubgrid(sg, item, 69)
+	mod := func(workers int) func(*Params) {
+		return func(p *Params) {
+			p.PixelTileRows = 2
+			p.Workers = workers
+		}
+	}
+	serial := tilingKernels(t, sg, nc, mod(1))
+	parallel := tilingKernels(t, sg, nc, mod(8))
+	wantGrid := grid.NewSubgrid(sg, item.X0, item.Y0)
+	serial.GridSubgrid(item, uvw, vis, nil, nil, wantGrid)
+	wantVis := make([]xmath.Matrix2, nt*nc)
+	serial.DegridSubgrid(item, in, uvw, nil, nil, wantVis)
+
+	const goroutines, rounds = 4, 3
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				out := grid.NewSubgrid(sg, item.X0, item.Y0)
+				parallel.GridSubgrid(item, uvw, vis, nil, nil, out)
+				if !subgridsEqual(wantGrid, out) {
+					errs <- "concurrent gridder result differs"
+					return
+				}
+				pv := make([]xmath.Matrix2, nt*nc)
+				parallel.DegridSubgrid(item, in, uvw, nil, nil, pv)
+				if !visEqual(wantVis, pv) {
+					errs <- "concurrent degridder result differs"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestFlaggedVisibilitiesExactZero: fully flagged (zeroed) inputs must
+// produce exact zeros on every code path — no drift, no denormal dust
+// from the phasor arithmetic.
+func TestFlaggedVisibilitiesExactZero(t *testing.T) {
+	const sg, nt, nc = 8, 6, 8
+	item, uvw, _, _ := tilingItem(71, nt, nc)
+	vis := make([]xmath.Matrix2, nt*nc) // all zero
+	zeroIn := grid.NewSubgrid(sg, item.X0, item.Y0)
+	for _, tc := range []struct {
+		name string
+		mod  func(*Params)
+	}{
+		{"Float64", nil},
+		{"Float64NoVec", func(p *Params) { p.DisableVectorKernels = true }},
+		{"Float32", func(p *Params) { p.Precision = Float32 }},
+		{"Reference", func(p *Params) { p.DisableBatching = true }},
+	} {
+		k := tilingKernels(t, sg, nc, tc.mod)
+		out := grid.NewSubgrid(sg, item.X0, item.Y0)
+		k.GridSubgrid(item, uvw, vis, nil, nil, out)
+		for p := range out.Data {
+			for i, v := range out.Data[p] {
+				if v != 0 {
+					t.Fatalf("%s: gridded zero visibilities produced pixel %d = %v", tc.name, i, v)
+				}
+			}
+		}
+		pv := make([]xmath.Matrix2, nt*nc)
+		pv[0] = xmath.Matrix2{1, 1, 1, 1} // must be overwritten
+		k.DegridSubgrid(item, zeroIn, uvw, nil, nil, pv)
+		for i, v := range pv {
+			if v != (xmath.Matrix2{}) {
+				t.Fatalf("%s: degridded zero subgrid produced visibility %d = %v", tc.name, i, v)
+			}
+		}
+	}
+}
+
+// TestVectorKernelsMatchScalar pins the hand-vectorized float64 path
+// against the generic one: both apply the same resync cadence, so they
+// agree to within twice the recurrence bound (each side's drift) on
+// hardware where the vector kernels run at all.
+func TestVectorKernelsMatchScalar(t *testing.T) {
+	if !vectorKernels {
+		t.Skip("vector kernels unavailable on this CPU")
+	}
+	const sg, nt, nc = 16, 10, 21 // nc with a 1-channel tail
+	item, uvw, vis, maxAmp := tilingItem(73, nt, nc)
+	in, pixAmp := randomSubgrid(sg, item, 79)
+	vecK := tilingKernels(t, sg, nc, nil)
+	scalK := tilingKernels(t, sg, nc, func(p *Params) { p.DisableVectorKernels = true })
+	phaseBound := recurrencePhaseBound(vecK, item, uvw)
+
+	a := grid.NewSubgrid(sg, item.X0, item.Y0)
+	b := grid.NewSubgrid(sg, item.X0, item.Y0)
+	vecK.GridSubgrid(item, uvw, vis, nil, nil, a)
+	scalK.GridSubgrid(item, uvw, vis, nil, nil, b)
+	tol := 2 * 2 * math.Sqrt2 * float64(nt*nc) * maxAmp * phaseBound
+	if d := a.MaxAbsDiff(b); d > tol {
+		t.Fatalf("vector gridder differs from scalar by %g (bound %g)", d, tol)
+	}
+
+	va := make([]xmath.Matrix2, nt*nc)
+	vb := make([]xmath.Matrix2, nt*nc)
+	vecK.DegridSubgrid(item, in, uvw, nil, nil, va)
+	scalK.DegridSubgrid(item, in, uvw, nil, nil, vb)
+	npix := sg * sg
+	tol = 2 * 2 * math.Sqrt2 * float64(npix) * pixAmp * phaseBound
+	for i := range va {
+		for p := 0; p < 4; p++ {
+			if d := cmplx.Abs(va[i][p] - vb[i][p]); d > tol {
+				t.Fatalf("vector degridder differs from scalar by %g at vis %d (bound %g)", d, i, tol)
+			}
+		}
+	}
+}
+
+// TestTiledEdgeChannelCounts covers the channel-count edge cases: no
+// recurrence (nc < 3), exactly one quad, quad+tail, and a single
+// channel, for both precisions, against the reference transcription.
+func TestTiledEdgeChannelCounts(t *testing.T) {
+	const sg, nt = 10, 5
+	for _, nc := range []int{1, 2, 3, 4, 5} {
+		item, uvw, vis, maxAmp := tilingItem(83+uint64(nc), nt, nc)
+		ref := tilingKernels(t, sg, nc, func(p *Params) { p.DisableBatching = true })
+		want := grid.NewSubgrid(sg, item.X0, item.Y0)
+		ref.GridSubgrid(item, uvw, vis, nil, nil, want)
+		phaseBound := recurrencePhaseBound(ref, item, uvw)
+		for _, prec := range []Precision{Float64, Float32} {
+			k := tilingKernels(t, sg, nc, func(p *Params) {
+				p.Precision = prec
+				p.PixelTileRows = 3 // does not divide sg: exercises the short last tile
+			})
+			got := grid.NewSubgrid(sg, item.X0, item.Y0)
+			k.GridSubgrid(item, uvw, vis, nil, nil, got)
+			tol := 2*math.Sqrt2*float64(nt*nc)*maxAmp*phaseBound + 1e-9
+			if prec == Float32 {
+				tol = float32GridBound(nt*nc, maxAmp, phaseBound) + 1e-9
+			}
+			if d := got.MaxAbsDiff(want); d > tol {
+				t.Fatalf("nc=%d %v: differs from reference by %g (bound %g)", nc, prec, d, tol)
+			}
+		}
+	}
+}
+
+// TestFloat32PrecisionValidate pins the Params surface: the zero value
+// defaults to Float64, unknown values are rejected, and the two
+// precisions stringify for logs.
+func TestFloat32PrecisionValidate(t *testing.T) {
+	if Float64 != 0 {
+		t.Fatal("Float64 must be the zero value of Precision")
+	}
+	p := Params{
+		GridSize: 64, SubgridSize: 8, ImageSize: 0.1,
+		Frequencies: []float64{150e6}, Precision: Precision(7),
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("unknown precision must fail validation")
+	}
+	if Float64.String() == Float32.String() {
+		t.Fatal("precisions must stringify distinctly")
+	}
+}

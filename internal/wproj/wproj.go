@@ -40,6 +40,13 @@ type Config struct {
 	// Taper is the image-domain anti-aliasing window; nil selects the
 	// prolate spheroidal.
 	Taper func(nu float64) float64
+	// Sincos evaluates the w-screen phases during kernel precomputation;
+	// nil selects xmath.SincosAccurate. Unlike the IDG kernels, no
+	// phasor-rotation recurrence can replace it here: the screen phase
+	// -2*pi*w*n(l,m) is not affine in the pixel index (n is a square
+	// root of l and m), so each pixel needs a genuine evaluation —
+	// xmath.SincosFast trades ~2 ulp for roughly half the cost.
+	Sincos xmath.SincosFunc
 }
 
 // Validate checks the configuration.
@@ -76,6 +83,7 @@ type kernel struct {
 // Gridder grids and degrids visibilities with W-projection.
 type Gridder struct {
 	cfg     Config
+	sincos  xmath.SincosFunc
 	kernels map[int]*kernel // by W-plane index (w >= 0; negative w uses conjugate symmetry)
 	norm    float64         // global kernel normalization
 }
@@ -88,7 +96,10 @@ func NewGridder(cfg Config) (*Gridder, error) {
 	if cfg.Taper == nil {
 		cfg.Taper = taper.Spheroidal
 	}
-	g := &Gridder{cfg: cfg, kernels: make(map[int]*kernel)}
+	g := &Gridder{cfg: cfg, sincos: cfg.Sincos, kernels: make(map[int]*kernel)}
+	if g.sincos == nil {
+		g.sincos = xmath.SincosAccurate
+	}
 	nPlanes := 1
 	if cfg.WStepLambda > 0 {
 		nPlanes = int(cfg.MaxWLambda/cfg.WStepLambda) + 2
@@ -145,7 +156,7 @@ func (g *Gridder) computeKernel(w float64) *kernel {
 			}
 			tap := g.cfg.Taper(nuX) * g.cfg.Taper(nuY)
 			phase := -2 * math.Pi * w * sky.N(ll, mm)
-			sin, cos := math.Sincos(phase)
+			sin, cos := g.sincos(phase)
 			// Embed centered in the padded array.
 			sy := y - m/2 + s/2
 			sx := x - m/2 + s/2

@@ -1,0 +1,43 @@
+//go:build amd64
+
+package xmath
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+// Implemented in cpufeat_amd64.s.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (the XCR0 feature mask).
+// Only valid when CPUID reports OSXSAVE. Implemented in
+// cpufeat_amd64.s.
+func xgetbv() (eax, edx uint32)
+
+var hasAVX2FMA = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&fmaBit == 0 || ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	// The OS must have enabled XMM+YMM state saving (XCR0 bits 1 and 2)
+	// or executing VEX-256 instructions faults.
+	if eax, _ := xgetbv(); eax&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// HasAVX2FMA reports whether this CPU (and OS) supports the AVX2 and
+// FMA instruction sets the hand-vectorized kernel loops in
+// internal/core require. Always false off amd64.
+func HasAVX2FMA() bool { return hasAVX2FMA }

@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package xmath
+
+// HasAVX2FMA reports whether this CPU supports the AVX2 and FMA
+// instruction sets the hand-vectorized kernel loops in internal/core
+// require. Always false off amd64.
+func HasAVX2FMA() bool { return false }

@@ -1,0 +1,97 @@
+package xmath
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// The tiled kernel hot loops (internal/core) fuse their multiply-adds
+// with math.FMA, which the Go compiler turns into a single hardware
+// instruction on amd64 (VFMADD, behind a cheap runtime feature test)
+// and arm64 (FMADD). On hardware without fused multiply-add the same
+// call falls back to a ~30x slower software emulation that computes the
+// exact product — correct, but far worse than a plain mul+add. The
+// kernels therefore probe once at startup whether math.FMA is fast and
+// otherwise keep the unfused formulation.
+
+var (
+	fmaOnce sync.Once
+	fastFMA bool
+	fmaSink float64
+)
+
+// HasFastFMA reports whether math.FMA compiles to a fused hardware
+// instruction on this machine. The probe times a dependent math.FMA
+// chain against the equivalent mul+add chain: hardware FMA runs at the
+// same order (often faster), while the software fallback is an order of
+// magnitude slower. The result is computed once and cached; a
+// misdetection can only cost performance, never correctness.
+func HasFastFMA() bool {
+	fmaOnce.Do(func() { fastFMA = probeFastFMA() })
+	return fastFMA
+}
+
+func probeFastFMA() bool {
+	const iters = 4096
+	best := func(f func() float64) time.Duration {
+		d := time.Duration(math.MaxInt64)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			fmaSink = f()
+			if e := time.Since(start); e < d {
+				d = e
+			}
+		}
+		return d
+	}
+	fused := best(func() float64 {
+		acc := 1.0
+		for i := 0; i < iters; i++ {
+			acc = math.FMA(acc, 0.9999999, 1e-9)
+		}
+		return acc
+	})
+	plain := best(func() float64 {
+		acc := 1.0
+		for i := 0; i < iters; i++ {
+			acc = acc*0.9999999 + 1e-9
+		}
+		return acc
+	})
+	// Hardware FMA stays within a small factor of the mul+add chain
+	// (both are latency-bound); the portable fallback does not.
+	return fused < 3*plain
+}
+
+// Eps32 is the relative rounding step of float32 (2^-23, one ulp at
+// 1.0). The float32 kernel error bounds below are quoted in multiples
+// of it.
+const Eps32 = 0x1p-23
+
+// Float32AccumBound bounds the absolute error of accumulating n
+// phasor-rotated terms in float32, against the same sum carried in
+// float64, when the term magnitudes sum to sumAbs: every input rounds
+// once to float32 (the planar visibility/pixel arrays and the phasor
+// components), every product and running addition round once more, and
+// a serial (or any reassociated) sum of n such terms compounds to at
+// most
+//
+//	(n + 8) * Eps32 * sumAbs.
+//
+// Phase arguments and the sincos seeds stay in float64 on the float32
+// path, so their error is identical to the float64 path's and does not
+// appear here; the rotation recurrence drift does (see
+// Float32PhasorDriftBound) and must be added by callers whose phasors
+// advance by rotation between exact re-syncs.
+func Float32AccumBound(n int, sumAbs float64) float64 {
+	return float64(n+8) * Eps32 * sumAbs
+}
+
+// Float32PhasorDriftBound is PhasorDriftBound for a rotation recurrence
+// carried in float32: after k steps from an exactly seeded phasor the
+// sin/cos components drift by at most k * 6 * Eps32 (same argument as
+// the float64 bound, scaled to the wider rounding step).
+func Float32PhasorDriftBound(k int) float64 {
+	return float64(k) * 6 * Eps32
+}

@@ -65,6 +65,17 @@ type (
 	ATermProvider = aterm.Provider
 	// Station is a station position in local ENU meters.
 	Station = layout.Station
+	// Precision selects the kernel compute precision (Params.Precision).
+	Precision = core.Precision
+)
+
+// Kernel compute precisions. Float64 is the default; Float32 halves
+// the arithmetic width and memory traffic of the hot loops at the cost
+// of the error bound documented in DESIGN.md (phase arguments stay
+// float64 in both modes).
+const (
+	Float64 = core.Float64
+	Float32 = core.Float32
 )
 
 // NewKernels precomputes the IDG kernel state for the parameters.
@@ -120,6 +131,9 @@ type ObservationConfig struct {
 	HourAngleStartDeg float64
 	// Workers bounds parallelism (0: GOMAXPROCS).
 	Workers int
+	// Precision selects the kernel compute precision (default Float64;
+	// see Params.Precision).
+	Precision Precision
 }
 
 // DefaultObservation returns a laptop-scale observation that keeps the
@@ -250,6 +264,7 @@ func (c ObservationConfig) BuildPlan() (*Observation, error) {
 		ImageSize:   imageSize,
 		Frequencies: freqs,
 		Workers:     c.Workers,
+		Precision:   c.Precision,
 	})
 	if err != nil {
 		return nil, err

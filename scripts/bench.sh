@@ -1,24 +1,30 @@
 #!/bin/sh
 # Kernel/pipeline benchmark runner: measures the gridder and degridder
-# kernels and the full warm pipeline passes with allocation tracking,
-# and writes the machine-readable BENCH_kernels.json (ns/op, allocs/op,
-# visibilities/sec; see cmd/benchjson) for diffing against
-# BENCH_kernels_seed.json.
+# kernels (both precisions) and the full warm pipeline passes with
+# allocation tracking, and writes the machine-readable
+# BENCH_kernels.json (ns/op, allocs/op, visibilities/sec; see
+# cmd/benchjson) for diffing against BENCH_kernels_seed.json.
 #
 # Usage:
 #   scripts/bench.sh          # full run, rewrites BENCH_kernels.json
 #   scripts/bench.sh -short   # 1-iteration smoke run (CI); result is
 #                             # parsed and validated but not committed
+#
+# BENCH_OUT overrides the output path in either mode.
 set -eu
 cd "$(dirname "$0")/.."
 
-bench='BenchmarkGridderKernel$|BenchmarkDegridderKernel$|BenchmarkFullGriddingPass$|BenchmarkFullDegriddingPass$'
-out=BENCH_kernels.json
-benchtime=''
+bench='BenchmarkGridderKernel$|BenchmarkGridderKernelFloat32$|BenchmarkDegridderKernel$|BenchmarkDegridderKernelFloat32$|BenchmarkFullGriddingPass$|BenchmarkFullDegriddingPass$'
+out="${BENCH_OUT:-BENCH_kernels.json}"
+# The full pipeline passes take ~0.5 s per iteration; give them a few
+# iterations so the committed numbers aren't single-sample noise.
+benchtime="-benchtime=${BENCH_TIME:-3s}"
 if [ "${1:-}" = "-short" ]; then
     benchtime='-benchtime=1x'
-    out="$(mktemp)"
-    trap 'rm -f "$out"' EXIT
+    if [ -z "${BENCH_OUT:-}" ]; then
+        out="$(mktemp)"
+        trap 'rm -f "$out"' EXIT
+    fi
 fi
 
 raw="$(go test -run '^$' -bench "$bench" -benchmem $benchtime .)"

@@ -1,8 +1,9 @@
 #!/bin/sh
 # CI gate: vet, build, full test suite with the race detector, the
-# chaos tests raced a second time with fresh counts, and a one-shot
-# smoke run of the kernel benchmarks (validates the bench -> JSON
-# tooling without burning benchmark time). Mirrors `make ci` for
+# chaos tests raced a second time with fresh counts, a one-shot smoke
+# run of the kernel benchmarks (validates the bench -> JSON tooling
+# without burning benchmark time), and a kernel performance regression
+# gate against the committed baseline. Mirrors `make ci` for
 # environments without make.
 set -eux
 
@@ -12,3 +13,12 @@ go test -race ./...
 go test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
 go test -race -run 'Facade|Chaos|Cancel' . ./internal/core/
 scripts/bench.sh -short
+
+# Performance regression gate: briefly re-measure the two kernel
+# benchmarks and compare their MVis/s against BENCH_kernels.json;
+# a slowdown beyond BENCH_THRESHOLD percent (default 10) fails CI.
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+go test -run '^$' -bench 'BenchmarkGridderKernel$|BenchmarkDegridderKernel$' -benchtime 1s . |
+    go run ./cmd/benchjson > "$out"
+go run ./cmd/benchjson -compare -threshold "${BENCH_THRESHOLD:-10}" BENCH_kernels.json "$out"
