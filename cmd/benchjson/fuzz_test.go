@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary `go test -bench` style text to the
+// parser. The parser may reject input with an error but must never
+// panic, and every benchmark it accepts must carry a plausible name
+// and iteration count.
+func FuzzParse(f *testing.F) {
+	f.Add("BenchmarkGridderKernel-8   \t     193\t   5922618 ns/op\t         0.3458 MVis/s\t       0 B/op\t       0 allocs/op")
+	f.Add("BenchmarkPlain \t 100 \t 1000 ns/op")
+	f.Add("goos: linux\ngoarch: amd64\npkg: repro\ncpu: generic\nBenchmarkX-2 1 2 ns/op\nPASS")
+	f.Add("BenchmarkNoIters")
+	f.Add("Benchmark bad-count ns/op")
+	f.Add("BenchmarkHuge 9223372036854775808 1 ns/op") // iteration count overflows int64
+	f.Add("BenchmarkNaN 1 NaN ns/op")
+	f.Add("BenchmarkTrailing 1 42")     // value with no unit
+	f.Add("BenchmarkCustom 5 1.5 GB/s") // custom metric unit
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		rep, err := Parse(bufio.NewScanner(strings.NewReader(input)))
+		if err != nil {
+			return
+		}
+		for _, b := range rep.Benchmarks {
+			if !strings.HasPrefix(b.Name, "Benchmark") {
+				t.Fatalf("accepted benchmark with name %q", b.Name)
+			}
+			if b.Iterations < 0 {
+				t.Fatalf("accepted negative iteration count %d", b.Iterations)
+			}
+		}
+	})
+}

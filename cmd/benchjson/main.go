@@ -10,7 +10,11 @@
 // gate: benchmarks present in both are compared by visibility
 // throughput (falling back to 1/ns_per_op when either side lacks the
 // MVis/s metric), and any slowdown beyond -threshold percent fails the
-// run:
+// run. A benchmark recorded in the old report but absent from the new
+// one also fails the gate — a silently vanished benchmark usually
+// means a renamed or deleted test, not an intentional retirement —
+// unless -allow-missing is given (for subset runs that deliberately
+// re-measure only part of the baseline):
 //
 //	benchjson -compare -threshold 10 BENCH_kernels.json new.json
 //
@@ -55,13 +59,15 @@ type Report struct {
 func main() {
 	compare := flag.Bool("compare", false, "compare two JSON reports (old new) instead of parsing stdin")
 	threshold := flag.Float64("threshold", 10, "with -compare: maximum tolerated slowdown in percent")
+	allowMissing := flag.Bool("allow-missing", false,
+		"with -compare: benchmarks missing from the new report warn instead of failing")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files (old new)")
 			os.Exit(2)
 		}
-		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		ok, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold, *allowMissing)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
@@ -184,9 +190,10 @@ func throughput(b *Benchmark) (float64, bool) {
 
 // runCompare diffs two reports benchmark by benchmark and reports
 // whether every common benchmark stayed within the slowdown threshold
-// (percent). Benchmarks only present on one side are warned about but
-// do not fail the gate: the benchmark set is allowed to grow.
-func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (bool, error) {
+// (percent). A baseline benchmark missing from the new report fails
+// the gate unless allowMissing is set; benchmarks only present in the
+// new report merely warn (the set is allowed to grow).
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64, allowMissing bool) (bool, error) {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return false, err
@@ -205,7 +212,13 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (bool, 
 		ob := &oldRep.Benchmarks[i]
 		nb, found := newByName[ob.Name]
 		if !found {
-			fmt.Fprintf(w, "WARN  %-40s missing from %s\n", ob.Name, newPath)
+			if allowMissing {
+				fmt.Fprintf(w, "WARN  %-40s missing from %s\n", ob.Name, newPath)
+			} else {
+				fmt.Fprintf(w, "FAIL  %-40s in baseline %s but missing from %s (renamed or deleted? pass -allow-missing for subset runs)\n",
+					ob.Name, oldPath, newPath)
+				ok = false
+			}
 			continue
 		}
 		delete(newByName, ob.Name)

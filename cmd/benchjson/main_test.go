@@ -69,7 +69,7 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 		visBench("BenchmarkDegridderKernel-8", 0.75),
 	}})
 	var sb strings.Builder
-	ok, err := runCompare(&sb, oldP, newP, 10)
+	ok, err := runCompare(&sb, oldP, newP, 10, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestCompareRegressionFails(t *testing.T) {
 		visBench("BenchmarkGridderKernel-8", 0.20), // -33%
 	}})
 	var sb strings.Builder
-	ok, err := runCompare(&sb, oldP, newP, 10)
+	ok, err := runCompare(&sb, oldP, newP, 10, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,9 +102,10 @@ func TestCompareRegressionFails(t *testing.T) {
 	}
 }
 
-// The benchmark set is allowed to grow and shrink: one-sided
-// benchmarks warn but do not fail the gate.
-func TestCompareMissingBenchmarksWarn(t *testing.T) {
+// A baseline benchmark that vanished from the new report fails the
+// gate with an actionable message: a silently shrinking benchmark set
+// would let a deleted or renamed benchmark dodge the regression check.
+func TestCompareMissingBenchmarkFails(t *testing.T) {
 	dir := t.TempDir()
 	oldP := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
 		visBench("BenchmarkGridderKernel-8", 0.30),
@@ -115,16 +116,45 @@ func TestCompareMissingBenchmarksWarn(t *testing.T) {
 		visBench("BenchmarkBrandNew-8", 2.0),
 	}})
 	var sb strings.Builder
-	ok, err := runCompare(&sb, oldP, newP, 10)
+	ok, err := runCompare(&sb, oldP, newP, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("missing baseline benchmark must fail the gate:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "BenchmarkRetired-8") ||
+		!strings.Contains(out, "missing from") || !strings.Contains(out, "-allow-missing") {
+		t.Fatalf("missing-benchmark FAIL line must name the benchmark and the escape hatch:\n%s", out)
+	}
+	// Growth stays a warning: BenchmarkBrandNew-8 must not FAIL.
+	if !strings.Contains(out, "only in") || !strings.Contains(out, "BenchmarkBrandNew-8") {
+		t.Fatalf("missing WARN line for the new-only benchmark:\n%s", out)
+	}
+}
+
+// -allow-missing restores the warn-only behaviour for deliberate
+// subset runs (CI re-measures two of the six baseline kernels).
+func TestCompareAllowMissingWarns(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkGridderKernel-8", 0.30),
+		visBench("BenchmarkRetired-8", 1.0),
+	}})
+	newP := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkGridderKernel-8", 0.31),
+	}})
+	var sb strings.Builder
+	ok, err := runCompare(&sb, oldP, newP, 10, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
-		t.Fatalf("one-sided benchmarks must not fail the gate:\n%s", sb.String())
+		t.Fatalf("-allow-missing must not fail on a one-sided benchmark:\n%s", sb.String())
 	}
-	out := sb.String()
-	if !strings.Contains(out, "BenchmarkRetired-8") || !strings.Contains(out, "BenchmarkBrandNew-8") {
-		t.Fatalf("missing WARN lines for one-sided benchmarks:\n%s", out)
+	if !strings.Contains(sb.String(), "WARN") || !strings.Contains(sb.String(), "BenchmarkRetired-8") {
+		t.Fatalf("missing WARN line under -allow-missing:\n%s", sb.String())
 	}
 }
 
@@ -144,7 +174,7 @@ func TestCompareNsPerOpFallbackAndMixedKinds(t *testing.T) {
 		visBench("BenchmarkMixed-8", 0.5),
 	}})
 	var sb strings.Builder
-	ok, err := runCompare(&sb, oldP, newP, 10)
+	ok, err := runCompare(&sb, oldP, newP, 10, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +195,7 @@ func TestCompareNothingComparableErrors(t *testing.T) {
 		visBench("BenchmarkB-8", 1),
 	}})
 	var sb strings.Builder
-	if _, err := runCompare(&sb, oldP, newP, 10); err == nil {
+	if _, err := runCompare(&sb, oldP, newP, 10, false); err == nil {
 		t.Fatal("disjoint benchmark sets must be an error, not a silent pass")
 	}
 }

@@ -57,6 +57,10 @@ func run() int {
 		"write a CPU profile of the selected experiments to this file")
 	memprofile := flag.String("memprofile", "",
 		"write a heap profile taken after the selected experiments to this file")
+	flag.StringVar(&traceFile, "trace", "",
+		"write a chrome://tracing timeline of the measured experiment to this file")
+	flag.BoolVar(&showMetrics, "metrics", false,
+		"print the pipeline metrics registry after the measured experiment")
 	flag.Parse()
 
 	if *cpuprofile != "" {

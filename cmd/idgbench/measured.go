@@ -16,6 +16,13 @@ import (
 	"repro"
 )
 
+// -trace / -metrics flags; the experiment table's fixed run(scale)
+// signature means runMeasured picks them up from package scope.
+var (
+	traceFile   string
+	showMetrics bool
+)
+
 // runMeasured executes the real Go IDG pipeline on a scaled-down copy
 // of the paper dataset and reports wall-clock per-stage times and
 // throughput — the measured companion to the modelled Fig. 9/10 rows
@@ -32,6 +39,14 @@ func runMeasured(scale float64) {
 	fmt.Printf("dataset: %d stations, %d steps, %d channels, %d-pixel subgrids on a %d-pixel grid (%d workers)\n",
 		cfg.NrStations, cfg.NrTimesteps, cfg.NrChannels, cfg.SubgridSize, cfg.GridSize,
 		runtime.GOMAXPROCS(0))
+
+	// Observation is opt-in: the measured run is the one experiment
+	// executing real kernels, so it is the one worth tracing.
+	var observer *repro.Observer
+	if traceFile != "" || showMetrics {
+		observer = repro.NewObserver(0)
+		cfg.Observer = observer
+	}
 
 	obs, err := cfg.Build()
 	if err != nil {
@@ -105,4 +120,25 @@ func runMeasured(scale float64) {
 	x, y := sky.LMToPixel(model[0].L, model[0].M, cfg.GridSize, obs.ImageSize)
 	fmt.Printf("image check: peak %.3f at (%d,%d), expected ~%.1f at (%d,%d)\n",
 		best, bi%cfg.GridSize, bi/cfg.GridSize, model[0].I, x, y)
+
+	// Measured metrics next to the modelled rooflines above.
+	if showMetrics {
+		fmt.Println("\nmeasured pipeline metrics:")
+		observer.Metrics.Snapshot().Table().Render(os.Stdout)
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := observer.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d spans, %d dropped) - load it in chrome://tracing or ui.perfetto.dev\n",
+			traceFile, observer.Tracer.Len(), observer.Tracer.Dropped())
+	}
 }

@@ -39,6 +39,8 @@ func main() {
 		retries  = flag.Int("max-retries", 0, "retries per failed work item (retry/skip-and-flag policies)")
 		flagClip = flag.Float64("flag-clip", 0, "flag visibilities with amplitude above this (0 disables)")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 disables)")
+		trace    = flag.String("trace", "", "write a chrome://tracing timeline of the pipeline stages to this file")
+		metrics  = flag.Bool("metrics", false, "print the pipeline metrics registry at exit")
 	)
 	flag.Parse()
 
@@ -63,6 +65,14 @@ func main() {
 	cfg.NrChannels = *channels
 	cfg.GridSize = *gridSize
 	cfg.GridMargin = *gridSize / 16
+
+	// Observation is opt-in: every IDG pass below (imaging, PSF,
+	// prediction, residual) reports into the same observer.
+	var observer *repro.Observer
+	if *trace != "" || *metrics {
+		observer = repro.NewObserver(0)
+		cfg.Observer = observer
+	}
 
 	obs, err := cfg.Build()
 	if err != nil {
@@ -221,6 +231,26 @@ func main() {
 	restored := clean.Restore(res, n, 2.0)
 	writePGM(*outDir, "restored.pgm", restored, n)
 	fmt.Printf("wrote %s\n", filepath.Join(*outDir, "{dirty,residual,restored}.pgm"))
+
+	if *metrics {
+		fmt.Println("\npipeline metrics (all passes):")
+		observer.Metrics.Snapshot().Table().Render(os.Stdout)
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fail(err)
+		}
+		if err := observer.Tracer.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s (%d spans, %d dropped) - load it in chrome://tracing or ui.perfetto.dev\n",
+			*trace, observer.Tracer.Len(), observer.Tracer.Dropped())
+	}
 }
 
 func cloneVis(vs *repro.VisibilitySet) [][]xmath.Matrix2 {

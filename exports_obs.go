@@ -1,0 +1,54 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Observability re-exports: the metrics registry and stage tracer of
+// internal/obs, attachable to a pipeline via Params.Observer or
+// ObservationConfig.Observer. See DESIGN.md ("Observability") for the
+// architecture and overhead budget.
+type (
+	// Observer bundles a metrics registry and a stage tracer; nil
+	// disables observation at zero cost.
+	Observer = obs.Observer
+	// MetricsRegistry is the concurrency-safe counter/gauge/histogram
+	// store.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry,
+	// JSON-exportable and renderable as a table.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer records pipeline stage/item/tile spans.
+	Tracer = obs.Tracer
+	// TraceSpan is one completed span.
+	TraceSpan = obs.Span
+	// Trace is the exported (JSON round-trippable) form of a tracer.
+	Trace = obs.Trace
+	// TraceStage identifies a pipeline stage in spans and metric names.
+	TraceStage = obs.Stage
+)
+
+// Pipeline stages appearing in trace spans.
+const (
+	StageGrid   = obs.StageGrid
+	StageFFT    = obs.StageFFT
+	StageAdd    = obs.StageAdd
+	StageSplit  = obs.StageSplit
+	StageDegrid = obs.StageDegrid
+	StageTile   = obs.StageTile
+	StageWPlane = obs.StageWPlane
+	StageCycle  = obs.StageCycle
+)
+
+// NewObserver returns an observer with a fresh registry and a tracer
+// bounded to maxSpans spans (<= 0 selects obs.DefaultMaxSpans).
+func NewObserver(maxSpans int) *Observer { return obs.New(maxSpans) }
+
+// ReadTrace decodes a trace written by Tracer.WriteJSON.
+func ReadTrace(r io.Reader) (Trace, error) { return obs.ReadJSON(r) }
+
+// ReadMetricsSnapshot decodes a snapshot written by
+// MetricsSnapshot.WriteJSON.
+func ReadMetricsSnapshot(r io.Reader) (MetricsSnapshot, error) { return obs.ReadSnapshot(r) }

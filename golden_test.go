@@ -1,0 +1,178 @@
+package repro
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+// -update regenerates testdata/golden_grid.json from the current code:
+//
+//	go test -run TestGoldenGridConformance -update .
+//
+// Commit the regenerated file only when a numerical change is
+// intended; an unexplained hash change means the gridding math moved.
+var updateGolden = flag.Bool("update", false, "rewrite the golden grid conformance file")
+
+const goldenGridFile = "testdata/golden_grid.json"
+
+// goldenGrid is the committed fingerprint of one deterministic
+// grid->FFT->add pass. The hash pins the exact bits; the diagnostics
+// exist so a mismatch tells a human roughly what moved (energy,
+// support, peak) without bisecting first.
+type goldenGrid struct {
+	SHA256   string  `json:"sha256"`
+	GridSize int     `json:"grid_size"`
+	SumAbs   float64 `json:"sum_abs"`
+	PeakAbs  float64 `json:"peak_abs"`
+	Nonzero  int     `json:"nonzero"`
+}
+
+// goldenObservation builds the fixed observation the golden file is
+// keyed to. Everything that could perturb the output bits is pinned:
+// the station layout seed is constant (layout.SKA1LowConfig), Workers
+// is 1 so floating-point accumulation order is the serial order, and
+// the kernels run the reference path (DisableBatching) so the hash
+// does not depend on host FMA/AVX2 dispatch.
+func goldenObservation(t *testing.T) *Observation {
+	t.Helper()
+	cfg := ObservationConfig{
+		NrStations:     10,
+		NrTimesteps:    48,
+		NrChannels:     4,
+		StartFrequency: 150e6,
+		ChannelWidth:   200e3,
+		GridSize:       256,
+		SubgridSize:    16,
+		KernelSupport:  4,
+		GridMargin:     16,
+		ATermInterval:  16,
+		Workers:        1,
+	}
+	o, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := o.Kernels.Params()
+	p.DisableBatching = true
+	k, err := core.NewKernels(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Kernels = k
+	pix := o.ImageSize / float64(cfg.GridSize)
+	model := SkyModel{
+		{L: 20 * pix, M: -12 * pix, I: 1},
+		{L: -36 * pix, M: 26 * pix, I: 0.5},
+		{L: 8 * pix, M: 44 * pix, I: 0.25},
+	}
+	if err := o.FillFromModel(model); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// fingerprintGrid hashes the little-endian float64 bytes of every
+// correlation plane (real then imaginary per cell) and collects the
+// human-readable diagnostics.
+func fingerprintGrid(g *grid.Grid) goldenGrid {
+	h := sha256.New()
+	var buf [16]byte
+	sum, peak := 0.0, 0.0
+	nonzero := 0
+	for c := 0; c < grid.NrCorrelations; c++ {
+		for _, v := range g.Data[c] {
+			binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(real(v)))
+			binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(v)))
+			h.Write(buf[:])
+			a := math.Hypot(real(v), imag(v))
+			sum += a
+			if a > peak {
+				peak = a
+			}
+			if v != 0 {
+				nonzero++
+			}
+		}
+	}
+	return goldenGrid{
+		SHA256:   hex.EncodeToString(h.Sum(nil)),
+		GridSize: g.N,
+		SumAbs:   sum,
+		PeakAbs:  peak,
+		Nonzero:  nonzero,
+	}
+}
+
+// TestGoldenGridConformance runs the full grid -> subgrid FFT -> adder
+// pipeline on a deterministic observation and compares the resulting
+// grid bit-for-bit against the committed golden fingerprint.
+func TestGoldenGridConformance(t *testing.T) {
+	o := goldenObservation(t)
+	g, _, err := o.GridAll(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fingerprintGrid(g)
+	if got.Nonzero == 0 {
+		t.Fatal("gridded observation produced an all-zero grid")
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenGridFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenGridFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s: %+v", goldenGridFile, got)
+		return
+	}
+
+	data, err := os.ReadFile(goldenGridFile)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGoldenGridConformance -update .` to create it)", err)
+	}
+	var want goldenGrid
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if got.SHA256 != want.SHA256 {
+		t.Errorf("grid hash %s, want %s\n got: %+v\nwant: %+v\n(an intended numerical change needs -update)",
+			got.SHA256, want.SHA256, got, want)
+	}
+}
+
+// TestGoldenGridDeterminism guards the premise of the golden file: two
+// independent builds of the same observation must produce identical
+// bits, or the conformance hash would flake.
+func TestGoldenGridDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second full gridding pass in -short mode")
+	}
+	hash := func() string {
+		o := goldenObservation(t)
+		g, _, err := o.GridAll(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprintGrid(g).SHA256
+	}
+	if a, b := hash(), hash(); a != b {
+		t.Fatalf("two identical runs hashed differently: %s vs %s", a, b)
+	}
+}

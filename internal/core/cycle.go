@@ -95,6 +95,7 @@ func (k *Kernels) RunImagingCycle(ctx context.Context, p *plan.Plan, vs *Visibil
 			return nil, faulttol.Canceled(err)
 		}
 		// Image the residual visibilities.
+		cstart := k.ob.now()
 		g := grid.NewGrid(n)
 		t, rep, err := k.GridVisibilitiesFT(ctx, p, vs, cfg.ATerms, g, cfg.FaultTolerance)
 		res.Faults.Merge(rep)
@@ -108,6 +109,7 @@ func (k *Kernels) RunImagingCycle(ctx context.Context, p *plan.Plan, vs *Visibil
 		dirty := sky.StokesI(img)
 
 		peak := absPeak(dirty)
+		k.ob.cycleImaged(major, peak, cstart)
 		res.PeakHistory = append(res.PeakHistory, peak)
 		res.Residual = dirty
 		res.MajorCycles = major + 1

@@ -28,15 +28,29 @@ func (k *Kernels) DegridSubgrid(item plan.WorkItem, in *grid.Subgrid, uvw []uvws
 func (k *Kernels) degridSubgridScratch(item plan.WorkItem, in *grid.Subgrid, uvw []uvwsim.UVW, atermP, atermQ []xmath.Matrix2, vis []xmath.Matrix2, s *scratch, par int) {
 	k.checkItem(item, uvw, vis)
 	if k.params.DisableBatching {
+		if k.ob.enabled() {
+			k.ob.kernelPath(k.ob.pathRef)
+		}
 		k.degridSubgridReference(item, in, uvw, atermP, atermQ, vis)
 		return
 	}
 	if k.params.Precision == Float32 {
+		if k.ob.enabled() {
+			k.ob.kernelPath(k.ob.pathTiled32)
+		}
 		degridSubgridTiled(k, item, in, uvw, atermP, atermQ, vis, s, par, degridTile[float32])
 	} else {
 		tile := degridTile[float64]
-		if k.vectorTiles() {
+		vec := k.vectorTiles()
+		if vec {
 			tile = degridTileVec
+		}
+		if k.ob.enabled() {
+			if vec {
+				k.ob.kernelPath(k.ob.pathVec)
+			} else {
+				k.ob.kernelPath(k.ob.pathTiled64)
+			}
 		}
 		degridSubgridTiled(k, item, in, uvw, atermP, atermQ, vis, s, par, tile)
 	}

@@ -36,15 +36,29 @@ func (k *Kernels) gridSubgridScratch(item plan.WorkItem, uvw []uvwsim.UVW, vis [
 	k.checkItem(item, uvw, vis)
 	out.X0, out.Y0, out.WOffset = item.X0, item.Y0, item.WOffset
 	if k.params.DisableBatching {
+		if k.ob.enabled() {
+			k.ob.kernelPath(k.ob.pathRef)
+		}
 		k.gridSubgridReference(item, uvw, vis, atermP, atermQ, out)
 		return
 	}
 	if k.params.Precision == Float32 {
+		if k.ob.enabled() {
+			k.ob.kernelPath(k.ob.pathTiled32)
+		}
 		gridSubgridTiled[float32](k, item, uvw, vis, atermP, atermQ, out, s, par, gridTile[float32])
 	} else {
 		tile := gridTile[float64]
-		if k.vectorTiles() && k.useRecurrence(item.NrChannels) {
+		vec := k.vectorTiles() && k.useRecurrence(item.NrChannels)
+		if vec {
 			tile = gridTileVec
+		}
+		if k.ob.enabled() {
+			if vec {
+				k.ob.kernelPath(k.ob.pathVec)
+			} else {
+				k.ob.kernelPath(k.ob.pathTiled64)
+			}
 		}
 		gridSubgridTiled[float64](k, item, uvw, vis, atermP, atermQ, out, s, par, tile)
 	}
@@ -374,7 +388,7 @@ func rotateAccumulateFMA(acc *[8]float64, re, im *[4][]float64, j0, nc int, base
 		a6b = math.FMA(vi, ps, a6b)
 		a7a = math.FMA(vr, ps, a7a)
 		a7b = math.FMA(vi, pc, a7b)
-		ps, pc = math.FMA(ps, fc, pc*fs), math.FMA(pc, fc, -(ps * fs))
+		ps, pc = math.FMA(ps, fc, pc*fs), math.FMA(pc, fc, -(ps*fs))
 	}
 	acc[0] += a0a - a0b
 	acc[1] += a1a + a1b

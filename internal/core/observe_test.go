@@ -1,0 +1,245 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/faulttol"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// observedScenario rebuilds a scenario's kernels with an attached
+// observer (buildScenario constructs unobserved kernels).
+func observedScenario(tb testing.TB, sc scenarioConfig) (*scenario, *obs.Observer) {
+	tb.Helper()
+	s := buildScenario(tb, sc)
+	ob := obs.New(0)
+	p := s.kernels.Params()
+	p.Observer = ob
+	k, err := NewKernels(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s.kernels = k
+	return s, ob
+}
+
+// TestObserverStageCountsMatchPlan is the acceptance-criteria check:
+// with observation enabled, the per-stage visibility counters must
+// exactly match the plan's totals, for both pipelines.
+func TestObserverStageCountsMatchPlan(t *testing.T) {
+	s, ob := observedScenario(t, defaultScenarioConfig())
+	s.fillFromModel(nil)
+	ctx := context.Background()
+	g := grid.NewGrid(s.plan.GridSize)
+	if _, err := s.kernels.GridVisibilities(ctx, s.plan, s.vs, nil, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.kernels.DegridVisibilities(ctx, s.plan, s.vs, nil, g); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.plan.Stats()
+	snap := ob.Metrics.Snapshot()
+	nItems := int64(len(s.plan.Items))
+	wantCounters := map[string]int64{
+		obs.MetricGridVisibilities:   st.NrGriddedVisibilities,
+		obs.MetricDegridVisibilities: st.NrGriddedVisibilities,
+		obs.MetricGridSubgrids:       nItems,
+		obs.MetricDegridSubgrids:     nItems,
+		obs.MetricFFTSubgrids:        2 * nItems, // forward + inverse
+		obs.MetricAddedSubgrids:      nItems,
+		obs.MetricSplitSubgrids:      nItems,
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	for _, name := range []string{
+		obs.MetricFlaggedVisibilities,
+		obs.MetricItemRetries,
+		obs.MetricItemSkips,
+		obs.MetricKernelPanics,
+		obs.MetricDroppedVisibilities,
+	} {
+		if got := snap.Counters[name]; got != 0 {
+			t.Errorf("%s = %d, want 0 on a clean run", name, got)
+		}
+	}
+	// Kernel dispatch-path counters must add up to one invocation per
+	// item per pipeline.
+	paths := snap.Counters[obs.MetricKernelPathReference] +
+		snap.Counters[obs.MetricKernelPathTiled32] +
+		snap.Counters[obs.MetricKernelPathTiled64] +
+		snap.Counters[obs.MetricKernelPathVector]
+	if paths != 2*nItems {
+		t.Errorf("kernel path counters sum to %d, want %d", paths, 2*nItems)
+	}
+	// Per-stage wall time was recorded for all five pipeline stages.
+	for _, stage := range []obs.Stage{obs.StageGrid, obs.StageDegrid,
+		obs.StageFFT, obs.StageAdd, obs.StageSplit} {
+		if got := snap.Counters[obs.StageNsMetric(stage)]; got <= 0 {
+			t.Errorf("%s = %d, want > 0", obs.StageNsMetric(stage), got)
+		}
+	}
+	// The latency histogram saw every item of both passes.
+	if got := snap.Histograms[obs.HistItemSeconds].Count; got != 2*nItems {
+		t.Errorf("item latency count = %d, want %d", got, 2*nItems)
+	}
+}
+
+// TestObserverTraceRoundTrip runs an observed pass and pushes the
+// recorded trace through the JSON encoder and the new decoder
+// (acceptance criteria), checking span structure along the way.
+func TestObserverTraceRoundTrip(t *testing.T) {
+	s, ob := observedScenario(t, defaultScenarioConfig())
+	s.fillFromModel(nil)
+	g := grid.NewGrid(s.plan.GridSize)
+	if _, err := s.kernels.GridVisibilities(context.Background(), s.plan, s.vs, nil, g); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := ob.Tracer.Spans()
+	stageSpans := map[obs.Stage]int{}
+	itemSpans := 0
+	for _, sp := range spans {
+		if sp.Item < 0 {
+			stageSpans[sp.Stage]++
+			continue
+		}
+		itemSpans++
+		if sp.Stage != obs.StageGrid {
+			t.Fatalf("item span with stage %q, want grid", sp.Stage)
+		}
+		if sp.Worker < 0 || sp.Baseline < 0 {
+			t.Fatalf("item span missing attribution: %+v", sp)
+		}
+	}
+	for _, stage := range []obs.Stage{obs.StageGrid, obs.StageFFT, obs.StageAdd} {
+		if stageSpans[stage] == 0 {
+			t.Errorf("no stage-level span for %q", stage)
+		}
+	}
+	if itemSpans != len(s.plan.Items) {
+		t.Errorf("item spans = %d, want %d", itemSpans, len(s.plan.Items))
+	}
+
+	var buf bytes.Buffer
+	if err := ob.Tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := obs.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Spans, spans) {
+		t.Fatal("trace JSON round trip changed the spans")
+	}
+	var chrome bytes.Buffer
+	if err := ob.Tracer.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if chrome.Len() == 0 {
+		t.Fatal("empty chrome trace")
+	}
+}
+
+// TestObserverFlaggedAndFaultCounts checks the degradation-side
+// metrics: flagged samples, recovered panics, retries, skips and
+// dropped visibilities must mirror the faulttol report exactly.
+func TestObserverFlaggedAndFaultCounts(t *testing.T) {
+	s, ob := observedScenario(t, defaultScenarioConfig())
+	s.fillFromModel(nil)
+	// Flag one full timestep of baseline 0.
+	for c := 0; c < s.vs.NrChannels; c++ {
+		s.vs.FlagSample(0, 3, c)
+	}
+
+	// Panic on every attempt for one specific item: under SkipAndFlag
+	// with one retry that is 2 recovered panics, 1 skip.
+	var target plan.WorkItem
+	for _, it := range s.plan.Items {
+		if it.Baseline == 1 {
+			target = it
+			break
+		}
+	}
+	ft := faulttol.Config{
+		Policy:     faulttol.SkipAndFlag,
+		MaxRetries: 1,
+		Hook: func(item plan.WorkItem, attempt int) {
+			if item.Baseline == target.Baseline && item.TimeStart == target.TimeStart &&
+				item.Channel0 == target.Channel0 && item.X0 == target.X0 && item.Y0 == target.Y0 {
+				panic("injected")
+			}
+		},
+	}
+	g := grid.NewGrid(s.plan.GridSize)
+	_, rep, err := s.kernels.GridVisibilitiesFT(context.Background(), s.plan, s.vs, nil, g, ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ItemsSkipped != 1 {
+		t.Fatalf("report skips = %d, want 1", rep.ItemsSkipped)
+	}
+
+	snap := ob.Metrics.Snapshot()
+	if got := snap.Counters[obs.MetricKernelPanics]; got != 2 {
+		t.Errorf("panics = %d, want 2 (initial attempt + retry)", got)
+	}
+	if got := snap.Counters[obs.MetricItemSkips]; got != int64(rep.ItemsSkipped) {
+		t.Errorf("skips = %d, want %d", got, rep.ItemsSkipped)
+	}
+	if got := snap.Counters[obs.MetricDroppedVisibilities]; got != rep.DroppedVisibilities {
+		t.Errorf("dropped = %d, want %d", got, rep.DroppedVisibilities)
+	}
+	if got := snap.Counters[obs.MetricItemRetries]; got != int64(rep.ItemsRetried) {
+		t.Errorf("retries = %d, want %d", got, rep.ItemsRetried)
+	}
+	// The flagged timestep is seen once per plan item covering
+	// (baseline 0, timestep 3): count those.
+	var wantFlagged int64
+	for _, it := range s.plan.Items {
+		if it.Baseline == 0 && it.TimeStart <= 3 && 3 < it.TimeStart+it.NrTimesteps {
+			wantFlagged += int64(it.NrChannels)
+		}
+	}
+	if wantFlagged == 0 {
+		t.Fatal("test bug: no plan item covers the flagged timestep")
+	}
+	if got := snap.Counters[obs.MetricFlaggedVisibilities]; got != wantFlagged {
+		t.Errorf("flagged = %d, want %d", got, wantFlagged)
+	}
+	// Successful visibilities = plan total minus the dropped item.
+	want := s.plan.Stats().NrGriddedVisibilities - rep.DroppedVisibilities
+	if got := snap.Counters[obs.MetricGridVisibilities]; got != want {
+		t.Errorf("gridded vis = %d, want %d", got, want)
+	}
+}
+
+// TestObserverDisabledZeroCost pins the contract that makes a nil
+// observer free: no allocations on the kernel hot path (the benchmark
+// acceptance bar) and no instruments materialized anywhere.
+func TestObserverDisabledZeroCost(t *testing.T) {
+	s := buildScenario(t, defaultScenarioConfig())
+	if s.kernels.ob != nil {
+		t.Fatal("kernels without Params.Observer must carry a nil kernelObs")
+	}
+	s.fillFromModel(nil)
+	item := s.plan.Items[0]
+	sgr := grid.NewSubgrid(s.plan.SubgridSize, item.X0, item.Y0)
+	visBuf := s.vs.Data[item.Baseline][:item.NrVisibilities()]
+	// Warm the scratch pool, then demand zero allocations per call.
+	s.kernels.GridSubgrid(item, s.vs.itemUVW(item), visBuf, nil, nil, sgr)
+	allocs := testing.AllocsPerRun(10, func() {
+		s.kernels.GridSubgrid(item, s.vs.itemUVW(item), visBuf, nil, nil, sgr)
+	})
+	if allocs != 0 {
+		t.Errorf("GridSubgrid with nil observer: %v allocs/op, want 0", allocs)
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/fft"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/sky"
 	"repro/internal/taper"
 	"repro/internal/uvwsim"
@@ -98,6 +99,11 @@ type Params struct {
 	Taper func(nu float64) float64
 	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
 	Workers int
+	// Observer receives pipeline metrics and stage/item/tile trace
+	// spans (see internal/obs). nil disables observation entirely: the
+	// hot path then pays one predictable branch per item and stage,
+	// takes no timestamps and allocates nothing.
+	Observer *obs.Observer
 	// Precision selects float64 (default) or float32 kernel storage
 	// and arithmetic.
 	Precision Precision
@@ -214,6 +220,10 @@ type Kernels struct {
 	// work item.
 	scratchPool sync.Pool
 	subgridPool sync.Pool
+
+	// ob is the pre-resolved observability sink (nil when
+	// Params.Observer is nil; see observe.go).
+	ob *kernelObs
 }
 
 // NewKernels precomputes the kernel state for the given parameters.
@@ -264,6 +274,7 @@ func NewKernels(params Params) (*Kernels, error) {
 	k.sgFFT = fft.NewPlan2D(sg, sg)
 	k.scratchPool.New = func() any { return new(scratch) }
 	k.subgridPool.New = func() any { return grid.NewSubgrid(sg, 0, 0) }
+	k.ob = newKernelObs(params.Observer)
 	return k, nil
 }
 

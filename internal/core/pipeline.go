@@ -11,6 +11,7 @@ import (
 	"repro/internal/aterm"
 	"repro/internal/faulttol"
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/uvwsim"
 	"repro/internal/xmath"
@@ -264,7 +265,7 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 	// most DefaultWorkGroupSize items, so the table is sliced (and its
 	// slots cleared) per group instead of reallocated.
 	subgridBuf := make([]*grid.Subgrid, DefaultWorkGroupSize)
-	for _, group := range p.WorkGroups(DefaultWorkGroupSize) {
+	for gi, group := range p.WorkGroups(DefaultWorkGroupSize) {
 		if err := ctx.Err(); err != nil {
 			return times, rep, faulttol.Canceled(err)
 		}
@@ -275,11 +276,14 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 		}
 
 		start := time.Now()
-		err := k.runItems(ctx, group, ft, rep, func(i int, s *scratch, par int) error {
+		err := k.runItems(ctx, obs.StageGrid, gi, group, ft, rep, func(i int, s *scratch, par int) error {
 			item := group[i]
 			sgr := k.getSubgrid(item.X0, item.Y0)
 			vis := s.visBuf(item.NrVisibilities())
 			vs.gather(item, vis)
+			if k.ob.enabled() {
+				k.ob.flaggedVis(vs.countFlagged(item))
+			}
 			ap, aq := k.lookupATerms(cache, vs.Baselines, item)
 			k.gridSubgridScratch(item, vs.itemUVW(item), vis, ap, aq, sgr, s, par)
 			if !sgr.Finite() {
@@ -290,7 +294,9 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 			subgrids[i] = sgr
 			return nil
 		})
-		times.Gridder += time.Since(start)
+		d := time.Since(start)
+		times.Gridder += d
+		k.ob.stageDone(obs.StageGrid, gi, start, d)
 		if err != nil {
 			k.releaseSubgrids(subgrids)
 			return times, rep, err
@@ -299,11 +305,15 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 		// the FFT and adder stages pass over.
 		start = time.Now()
 		k.FFTSubgrids(subgrids)
-		times.SubgridFFT += time.Since(start)
+		d = time.Since(start)
+		times.SubgridFFT += d
+		k.ob.stageDone(obs.StageFFT, gi, start, d)
 
 		start = time.Now()
 		k.Adder(subgrids, g)
-		times.Adder += time.Since(start)
+		d = time.Since(start)
+		times.Adder += d
+		k.ob.stageDone(obs.StageAdd, gi, start, d)
 
 		k.releaseSubgrids(subgrids)
 	}
@@ -342,7 +352,7 @@ func (k *Kernels) DegridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Vi
 	}
 	cache := k.newATermCache(prov)
 	subgridBuf := make([]*grid.Subgrid, DefaultWorkGroupSize)
-	for _, group := range p.WorkGroups(DefaultWorkGroupSize) {
+	for gi, group := range p.WorkGroups(DefaultWorkGroupSize) {
 		if err := ctx.Err(); err != nil {
 			return times, rep, faulttol.Canceled(err)
 		}
@@ -358,14 +368,18 @@ func (k *Kernels) DegridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Vi
 
 		start := time.Now()
 		k.Splitter(g, subgrids)
-		times.Splitter += time.Since(start)
+		d := time.Since(start)
+		times.Splitter += d
+		k.ob.stageDone(obs.StageSplit, gi, start, d)
 
 		start = time.Now()
 		k.InverseFFTSubgrids(subgrids)
-		times.SubgridFFT += time.Since(start)
+		d = time.Since(start)
+		times.SubgridFFT += d
+		k.ob.stageDone(obs.StageFFT, gi, start, d)
 
 		start = time.Now()
-		err := k.runItems(ctx, group, ft, rep, func(i int, s *scratch, par int) error {
+		err := k.runItems(ctx, obs.StageDegrid, gi, group, ft, rep, func(i int, s *scratch, par int) error {
 			item := group[i]
 			vis := s.visBuf(item.NrVisibilities())
 			ap, aq := k.lookupATerms(cache, vs.Baselines, item)
@@ -373,7 +387,9 @@ func (k *Kernels) DegridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Vi
 			vs.scatter(item, vis)
 			return nil
 		})
-		times.Degridder += time.Since(start)
+		d = time.Since(start)
+		times.Degridder += d
+		k.ob.stageDone(obs.StageDegrid, gi, start, d)
 		k.releaseSubgrids(subgrids)
 		if err != nil {
 			return times, rep, err
@@ -418,12 +434,16 @@ func (k *Kernels) checkPlan(p *plan.Plan, vs *VisibilitySet) error {
 // error is nil, the first fatal *faulttol.ItemError, or an ErrCanceled
 // wrapper.
 //
+// stage and group attribute the observer's per-item spans and counters
+// (see observe.go); with observation disabled they are unused and the
+// per-item cost is one nil check.
+//
 // par is the intra-item pixel-tile parallelism hint handed to fn: 1
 // while there are at least as many items as workers (item parallelism
 // alone saturates the pool), and ceil(workers/n) when a group is
 // smaller than the pool, so the spare workers pick up pixel tiles of
 // the in-flight items (runTiles) instead of idling.
-func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faulttol.Config, rep *faulttol.Report, fn func(i int, s *scratch, par int) error) error {
+func (k *Kernels) runItems(ctx context.Context, stage obs.Stage, group int, items []plan.WorkItem, ft faulttol.Config, rep *faulttol.Report, fn func(i int, s *scratch, par int) error) error {
 	n := len(items)
 	if n == 0 {
 		return ctxErr(ctx)
@@ -447,8 +467,9 @@ func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faultt
 		cancel()
 	}
 
-	runOne := func(i int, s *scratch) {
+	runOne := func(i, worker int, s *scratch) {
 		item := items[i]
+		t0 := k.ob.now()
 		var err error
 		made := 0
 		for a := 1; a <= attempts; a++ {
@@ -464,8 +485,10 @@ func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faultt
 			})
 			if err == nil {
 				rep.RecordSuccess(a > 1)
+				k.ob.itemDone(stage, group, worker, i, item, a, t0)
 				return
 			}
+			k.ob.attemptFailed(err)
 			if errors.Is(err, faulttol.ErrBadInput) {
 				break
 			}
@@ -479,6 +502,7 @@ func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faultt
 		}
 		if ft.Policy == faulttol.SkipAndFlag {
 			rep.RecordSkip(ie, int64(item.NrVisibilities()))
+			k.ob.itemSkipped(item)
 			return
 		}
 		fail(ie)
@@ -495,14 +519,14 @@ func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faultt
 			if runCtx.Err() != nil {
 				break
 			}
-			runOne(i, s)
+			runOne(i, 0, s)
 		}
 	} else {
 		var wg sync.WaitGroup
 		var next int64
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				s := k.getScratch()
 				defer k.putScratch(s)
@@ -511,9 +535,9 @@ func (k *Kernels) runItems(ctx context.Context, items []plan.WorkItem, ft faultt
 					if i >= n {
 						return
 					}
-					runOne(i, s)
+					runOne(i, worker, s)
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}

@@ -22,6 +22,9 @@ func (k *Kernels) InverseFFTSubgrids(subgrids []*grid.Subgrid) {
 }
 
 func (k *Kernels) transformSubgrids(subgrids []*grid.Subgrid, inverse bool) {
+	if k.ob.enabled() {
+		k.ob.subgrids(k.ob.sgFFT, countLive(subgrids))
+	}
 	workers := k.params.workers()
 	if workers > len(subgrids) {
 		workers = len(subgrids)
@@ -82,6 +85,9 @@ func (k *Kernels) transformSubgrids(subgrids []*grid.Subgrid, inverse bool) {
 func (k *Kernels) Adder(subgrids []*grid.Subgrid, g *grid.Grid) {
 	if g.N != k.params.GridSize {
 		panic("core: grid size does not match kernel parameters")
+	}
+	if k.ob.enabled() {
+		k.ob.subgrids(k.ob.sgAdd, countLive(subgrids))
 	}
 	workers := k.params.workers()
 	if workers > g.N {
@@ -145,6 +151,9 @@ func (k *Kernels) Splitter(g *grid.Grid, subgrids []*grid.Subgrid) {
 	if g.N != k.params.GridSize {
 		panic("core: grid size does not match kernel parameters")
 	}
+	if k.ob.enabled() {
+		k.ob.subgrids(k.ob.sgSplit, countLive(subgrids))
+	}
 	split := func(s *grid.Subgrid) {
 		if s == nil {
 			return
@@ -185,6 +194,18 @@ func (k *Kernels) Splitter(g *grid.Grid, subgrids []*grid.Subgrid) {
 		}()
 	}
 	wg.Wait()
+}
+
+// countLive counts the non-nil subgrids of a batch (skipped items of a
+// degraded run leave nil slots).
+func countLive(subgrids []*grid.Subgrid) int {
+	n := 0
+	for _, s := range subgrids {
+		if s != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // AdderSerialLocked is the ablation alternative to Adder: it

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The tiled kernels split each subgrid's pixel loop into tiles of
@@ -46,7 +47,11 @@ func (k *Kernels) runTiles(s *scratch, par, rows int, fn func(ts *scratch, row0,
 		wg       sync.WaitGroup
 		panicked atomic.Pointer[tilePanic]
 	)
-	worker := func(ts *scratch) {
+	// Tile spans give the trace its intra-item attribution: wid is the
+	// fan-out-local worker index (0 = the item owner). Only the traced
+	// parallel path pays for the timestamps.
+	trace := k.ob.enabled() && k.ob.tracer != nil
+	worker := func(wid int, ts *scratch) {
 		defer wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
@@ -63,16 +68,22 @@ func (k *Kernels) runTiles(s *scratch, par, rows int, fn func(ts *scratch, row0,
 			if r1 > rows {
 				r1 = rows
 			}
-			fn(ts, r0, r1)
+			if trace {
+				t0 := time.Now()
+				fn(ts, r0, r1)
+				k.ob.tileDone(wid, t, t0)
+			} else {
+				fn(ts, r0, r1)
+			}
 		}
 	}
 	wg.Add(par)
 	extra := make([]*scratch, par-1)
 	for w := range extra {
 		extra[w] = k.getScratch()
-		go worker(extra[w])
+		go worker(w+1, extra[w])
 	}
-	worker(s)
+	worker(0, s)
 	wg.Wait()
 	for _, es := range extra {
 		k.putScratch(es)

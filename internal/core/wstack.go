@@ -57,6 +57,7 @@ func (k *Kernels) GridVisibilitiesWStacked(ctx context.Context, p *plan.Plan, vs
 		if err := ctx.Err(); err != nil {
 			return nil, times, faulttol.Canceled(err)
 		}
+		start := k.ob.now()
 		g := grid.NewGrid(k.params.GridSize)
 		t, err := k.GridVisibilities(ctx, planForPlane(p, w), vs, prov, g)
 		if err != nil {
@@ -64,6 +65,7 @@ func (k *Kernels) GridVisibilitiesWStacked(ctx context.Context, p *plan.Plan, vs
 		}
 		times.Add(t)
 		grids[w] = g
+		k.ob.planeDone(w, start)
 	}
 	return grids, times, nil
 }
@@ -93,6 +95,7 @@ func (k *Kernels) DegridVisibilitiesWStacked(ctx context.Context, p *plan.Plan, 
 		if err := ctx.Err(); err != nil {
 			return times, faulttol.Canceled(err)
 		}
+		start := k.ob.now()
 		layer := img.Clone()
 		ApplyWScreen(layer, k.params.ImageSize, float64(w)*p.WStepLambda, -1)
 		g := ImageToGrid(layer, k.params.workers())
@@ -101,6 +104,7 @@ func (k *Kernels) DegridVisibilitiesWStacked(ctx context.Context, p *plan.Plan, 
 			return times, err
 		}
 		times.Add(t)
+		k.ob.planeDone(w, start)
 	}
 	return times, nil
 }

@@ -1,0 +1,67 @@
+package dataio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// headerBytes builds the on-disk header prefix (magic, dimensions,
+// frequencies) without going through Write, so seeds can encode
+// deliberately implausible dimensions.
+func headerBytes(nrBaselines, nrTimesteps, nrChannels int64, freqs []float64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	binary.Write(&buf, binary.LittleEndian, []int64{nrBaselines, nrTimesteps, nrChannels})
+	binary.Write(&buf, binary.LittleEndian, freqs)
+	return buf.Bytes()
+}
+
+// FuzzReadHeader throws arbitrary bytes at the header decoder. The
+// decoder's contract under fuzzing: never panic, never allocate
+// beyond the bounded frequency slice (ReadHeader is the part of the
+// format that must be safe on untrusted input — Read's body
+// allocation is gated behind these same checks), and only accept
+// headers whose fields satisfy the documented plausibility bounds.
+func FuzzReadHeader(f *testing.F) {
+	f.Add(headerBytes(3, 16, 2, []float64{150e6, 150.2e6}))            // valid
+	f.Add(headerBytes(3, 16, 2, []float64{150e6}))                     // truncated frequencies
+	f.Add(headerBytes(0, 16, 2, []float64{150e6, 150.2e6}))            // zero baselines
+	f.Add(headerBytes(1<<40, 16, 2, []float64{150e6, 150.2e6}))        // implausible baselines
+	f.Add(headerBytes(1<<20, 1<<20, 1<<10, []float64{150e6, 150.2e6})) // product overflows maxSamples
+	f.Add(headerBytes(3, 16, 2, []float64{math.NaN(), 150.2e6}))       // NaN frequency
+	f.Add(headerBytes(3, 16, 2, []float64{-1, 150.2e6}))               // negative frequency
+	f.Add([]byte("IDGVIS1\n"))                                         // magic only
+	f.Add([]byte("IDGVIS2\n\x00\x00\x00\x00\x00\x00\x00\x00"))         // wrong version
+	f.Add([]byte{})                                                    // empty
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHeader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted headers must honor the plausibility bounds the
+		// decoder promises to enforce.
+		if h.NrBaselines < 1 || int64(h.NrBaselines) > maxBaselines {
+			t.Fatalf("accepted baseline count %d outside [1, %d]", h.NrBaselines, int64(maxBaselines))
+		}
+		if h.NrTimesteps < 1 || int64(h.NrTimesteps) > maxTimesteps {
+			t.Fatalf("accepted timestep count %d outside [1, %d]", h.NrTimesteps, int64(maxTimesteps))
+		}
+		if h.NrChannels < 1 || int64(h.NrChannels) > maxChannels {
+			t.Fatalf("accepted channel count %d outside [1, %d]", h.NrChannels, int64(maxChannels))
+		}
+		if s := int64(h.NrBaselines) * int64(h.NrTimesteps) * int64(h.NrChannels); s > maxSamples {
+			t.Fatalf("accepted %d samples > max %d", s, int64(maxSamples))
+		}
+		if len(h.Frequencies) != h.NrChannels {
+			t.Fatalf("accepted %d frequencies for %d channels", len(h.Frequencies), h.NrChannels)
+		}
+		for i, fr := range h.Frequencies {
+			if fr <= 0 || math.IsNaN(fr) || math.IsInf(fr, 0) {
+				t.Fatalf("accepted bad frequency %d: %g", i, fr)
+			}
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package faultinject_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/faulttol"
+	"repro/internal/grid"
+)
+
+// pickSelector returns a selector that hits at least one but not all
+// of the pipeline's work items.
+func pickSelector(t *testing.T, p *pipeline) faultinject.Selector {
+	t.Helper()
+	for seed := uint64(1); seed < 64; seed++ {
+		sel := faultinject.Selector{Fraction: 0.2, Seed: seed}
+		if n := sel.Count(p.plan.Items); n > 0 && n < len(p.plan.Items) {
+			return sel
+		}
+	}
+	t.Fatal("no seed selects a proper subset of work items")
+	return faultinject.Selector{}
+}
+
+// TestFlakyHookSucceedsOnFinalRetry pins the boundary between a
+// transient and a permanent fault: an injector that panics on every
+// attempt but the last one must be fully absorbed by the retry
+// policy — the run succeeds, reports exactly the selected items as
+// retried, and drops nothing.
+func TestFlakyHookSucceedsOnFinalRetry(t *testing.T) {
+	p := buildPipeline(t)
+	sel := pickSelector(t, p)
+	cfg := faulttol.Config{
+		Policy:     faulttol.Retry,
+		MaxRetries: 2,
+		// Fail attempts 1..Attempts()-1; the final retry succeeds.
+		Hook: faultinject.FlakyHook(sel, cfg3Attempts(t)-1),
+	}
+	g := grid.NewGrid(p.plan.GridSize)
+	_, rep, err := p.kernels.GridVisibilitiesFT(context.Background(), p.plan, p.vs, nil, g, cfg)
+	if err != nil {
+		t.Fatalf("fault on the final retry must still succeed: %v", err)
+	}
+	if want := sel.Count(p.plan.Items); rep.ItemsRetried != want {
+		t.Errorf("ItemsRetried = %d, want %d", rep.ItemsRetried, want)
+	}
+	if rep.ItemsSkipped != 0 || rep.DroppedVisibilities != 0 {
+		t.Errorf("final-retry success must drop nothing: %+v", rep)
+	}
+	if rep.ItemsProcessed != len(p.plan.Items) {
+		t.Errorf("ItemsProcessed = %d, want %d", rep.ItemsProcessed, len(p.plan.Items))
+	}
+}
+
+// cfg3Attempts returns the attempt budget of the config used above
+// (MaxRetries 2 => 3 attempts), asserting the faulttol arithmetic the
+// test depends on.
+func cfg3Attempts(t *testing.T) int {
+	t.Helper()
+	n := faulttol.Config{Policy: faulttol.Retry, MaxRetries: 2}.Attempts()
+	if n != 3 {
+		t.Fatalf("Attempts() = %d, want 3", n)
+	}
+	return n
+}
+
+// TestFlakyHookOneAttemptTooMany is the same injector turned permanent
+// by one extra failing attempt: under Retry the run fails, under
+// SkipAndFlag exactly the selected items are dropped.
+func TestFlakyHookOneAttemptTooMany(t *testing.T) {
+	p := buildPipeline(t)
+	sel := pickSelector(t, p)
+	attempts := cfg3Attempts(t)
+
+	retry := faulttol.Config{
+		Policy:     faulttol.Retry,
+		MaxRetries: 2,
+		Hook:       faultinject.FlakyHook(sel, attempts),
+	}
+	g := grid.NewGrid(p.plan.GridSize)
+	if _, _, err := p.kernels.GridVisibilitiesFT(context.Background(), p.plan, p.vs, nil, g, retry); err == nil {
+		t.Fatal("exhausted retry budget must fail the run")
+	}
+
+	skip := retry
+	skip.Policy = faulttol.SkipAndFlag
+	g = grid.NewGrid(p.plan.GridSize)
+	_, rep, err := p.kernels.GridVisibilitiesFT(context.Background(), p.plan, p.vs, nil, g, skip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sel.Count(p.plan.Items); rep.ItemsSkipped != want {
+		t.Errorf("ItemsSkipped = %d, want %d", rep.ItemsSkipped, want)
+	}
+	if want := sel.SelectedVisibilities(p.plan.Items); rep.DroppedVisibilities != want {
+		t.Errorf("DroppedVisibilities = %d, want %d", rep.DroppedVisibilities, want)
+	}
+}

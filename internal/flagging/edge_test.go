@@ -1,0 +1,85 @@
+package flagging
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAllFlaggedBaseline pins the extreme of the re-flagging rule: a
+// baseline whose every sample is already flagged contributes nothing
+// to a later pass, no matter how corrupt its payload is.
+func TestAllFlaggedBaseline(t *testing.T) {
+	vs := testSet(t)
+	nan := complex(math.NaN(), math.NaN())
+	for i := range vs.Data[0] {
+		for p := 0; p < 4; p++ {
+			vs.Data[0][i][p] = nan
+		}
+	}
+	first := Apply(vs, DefaultConfig())
+	perBaseline := int64(vs.NrTimesteps * vs.NrChannels)
+	if first.NonFinite != perBaseline {
+		t.Fatalf("first pass flagged %d, want the whole baseline (%d)", first.NonFinite, perBaseline)
+	}
+
+	// Second pass with a stricter config: the dead baseline is skipped
+	// outright, and only the healthy baseline feeds the amplitude cut.
+	second := Apply(vs, Config{NonFinite: true, MaxAmplitude: 1})
+	if second.NonFinite != 0 {
+		t.Errorf("second pass re-counted %d non-finite samples", second.NonFinite)
+	}
+	if want := perBaseline; second.Clipped != want {
+		t.Errorf("second pass clipped %d, want %d (all of baseline 1, amplitude sqrt2 > 1)",
+			second.Clipped, want)
+	}
+	if want := 2 * perBaseline; second.Flagged != want {
+		t.Errorf("total flagged %d, want %d", second.Flagged, want)
+	}
+	for i := 0; i < int(perBaseline); i++ {
+		if !vs.Flags[0][i] {
+			t.Fatalf("baseline 0 sample %d lost its flag", i)
+		}
+	}
+}
+
+// TestNaNEscapesAmplitudeOnlyDetector documents a sharp edge of
+// amplitude clipping: maxAmplitude keeps the largest *comparable*
+// magnitude, and every comparison against NaN is false, so a sample
+// whose corrupt correlation is NaN slips through a MaxAmplitude-only
+// config. Catching NaNs is the NonFinite detector's job — which is
+// why DefaultConfig enables it.
+func TestNaNEscapesAmplitudeOnlyDetector(t *testing.T) {
+	vs := testSet(t)
+	vs.Data[0][0][0] = complex(math.NaN(), 0)
+
+	st := Apply(vs, Config{MaxAmplitude: 100})
+	if st.Clipped != 0 || st.NewlyFlagged() != 0 {
+		t.Fatalf("amplitude-only pass flagged %d samples, want 0: %+v", st.NewlyFlagged(), st)
+	}
+	if vs.Flagged(0, 0, 0) {
+		t.Fatal("NaN sample unexpectedly flagged by the amplitude detector")
+	}
+
+	// The default config (NonFinite on) catches exactly that sample.
+	if st := Apply(vs, DefaultConfig()); st.NonFinite != 1 {
+		t.Fatalf("NonFinite pass flagged %d, want 1", st.NonFinite)
+	}
+	if !vs.Flagged(0, 0, 0) {
+		t.Fatal("NaN sample still unflagged after the NonFinite pass")
+	}
+}
+
+// TestInfStillClippedByAmplitude contrasts the NaN edge: an Inf
+// component *is* caught by the amplitude cut (Hypot(Inf, x) = Inf
+// compares greater than any threshold).
+func TestInfStillClippedByAmplitude(t *testing.T) {
+	vs := testSet(t)
+	vs.Data[1][3][2] = complex(math.Inf(1), 0)
+	st := Apply(vs, Config{MaxAmplitude: 100})
+	if st.Clipped != 1 {
+		t.Fatalf("Clipped = %d, want 1", st.Clipped)
+	}
+	if !vs.Flagged(1, 1, 0) {
+		t.Fatal("Inf sample not flagged")
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Fatalf("gauge = %g, want -1.25", got)
+	}
+
+	// Nil instruments are no-ops, not crashes: this is what makes the
+	// disabled-observer hot path branch-only.
+	var nc *Counter
+	var ng *Gauge
+	var nh *Histogram
+	nc.Inc()
+	nc.Add(3)
+	ng.Set(1)
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 || nh.Sum() != 0 {
+		t.Fatal("nil instruments should read as zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h, err := r.Histogram("h", []float64{1, 10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 100.5, 1e9} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["h"]
+	// Inclusive upper edges: <=1, <=10, <=100, overflow.
+	want := []int64{2, 2, 1, 2}
+	if !reflect.DeepEqual(snap.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", snap.Counts, want)
+	}
+	if snap.Count != 7 {
+		t.Fatalf("count = %d, want 7", snap.Count)
+	}
+	wantSum := 0.5 + 1 + 1.5 + 10 + 99 + 100.5 + 1e9
+	if math.Abs(snap.Sum-wantSum) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", snap.Sum, wantSum)
+	}
+
+	if _, err := r.Histogram("bad", nil); err == nil {
+		t.Fatal("empty bounds should error")
+	}
+	if _, err := r.Histogram("bad2", []float64{1, 1}); err == nil {
+		t.Fatal("non-increasing bounds should error")
+	}
+	// Re-lookup ignores (even invalid) bounds and returns the original.
+	h2, err := r.Histogram("h", nil)
+	if err != nil || h2 != h {
+		t.Fatalf("re-lookup = (%p, %v), want original %p", h2, err, h)
+	}
+}
+
+// TestRegistryConcurrency hammers every instrument type from many
+// goroutines (including concurrent get-or-create and Snapshot) so the
+// race detector can vet the registry; the counter totals must come out
+// exact.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Set(float64(i))
+				if h, err := r.Histogram("h", DurationBuckets); err == nil {
+					h.Observe(float64(i) * 1e-5)
+				}
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("shared counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Snapshot().Histograms["h"].Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vis").Add(12345)
+	r.Gauge("peak").Set(0.75)
+	h, _ := r.Histogram("secs", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	snap := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, snap)
+	}
+
+	if _, err := ReadSnapshot(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON should error")
+	}
+}
+
+func TestSnapshotTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_counter").Add(2)
+	r.Counter("a_counter").Add(1)
+	r.Gauge("peak").Set(3.5)
+	h, _ := r.Histogram("secs", []float64{1})
+	h.Observe(2)
+	h.Observe(4)
+
+	var buf bytes.Buffer
+	r.Snapshot().Table().Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"a_counter", "b_counter", "peak", "secs_count", "secs_mean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Counters render sorted.
+	if strings.Index(out, "a_counter") > strings.Index(out, "b_counter") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, "3") { // secs_mean = (2+4)/2
+		t.Fatalf("histogram mean missing:\n%s", out)
+	}
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func span(stage Stage, worker, item int, start, dur int64) Span {
+	return Span{Stage: stage, Worker: worker, Group: 0, Item: item,
+		Tile: -1, Baseline: -1, Start: start, Dur: dur}
+}
+
+func TestTracerRecordAndBound(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(span(StageGrid, 0, i, int64(i)*100, 50))
+	}
+	if got := tr.Len(); got != 3 {
+		t.Fatalf("len = %d, want 3 (bounded)", got)
+	}
+	if got := tr.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	spans := tr.Spans()
+	if spans[0].Item != 0 || spans[2].Item != 2 {
+		t.Fatalf("unexpected span order: %+v", spans)
+	}
+	// The returned slice is a copy.
+	spans[0].Item = 99
+	if tr.Spans()[0].Item == 99 {
+		t.Fatal("Spans must return a copy")
+	}
+
+	var nilT *Tracer
+	nilT.Record(span(StageGrid, 0, 0, 0, 0))
+	if nilT.Len() != 0 || nilT.Dropped() != 0 || nilT.Spans() != nil {
+		t.Fatal("nil tracer should be inert")
+	}
+	if nilT.Offset(time.Now()) != 0 {
+		t.Fatal("nil tracer offset should be 0")
+	}
+}
+
+func TestTracerOffset(t *testing.T) {
+	tr := NewTracer(0)
+	now := time.Now()
+	off := tr.Offset(now)
+	if off < 0 || off > time.Minute.Nanoseconds() {
+		t.Fatalf("offset %d ns implausible for a fresh tracer", off)
+	}
+	if d := tr.Offset(now.Add(time.Second)) - off; d != time.Second.Nanoseconds() {
+		t.Fatalf("offset delta = %d, want 1s", d)
+	}
+}
+
+// TestTraceJSONRoundTrip is the acceptance-criteria decoder check: a
+// recorded trace written with WriteJSON must decode back identically
+// through ReadJSON.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(span(StageGrid, -1, -1, 0, 1000))
+	tr.Record(span(StageFFT, 2, 7, 1000, 500))
+	tr.Record(Span{Stage: StageTile, Worker: 1, Group: 3, Item: -1,
+		Tile: 4, Baseline: -1, Start: 1500, Dur: 10})
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Trace()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	if _, err := ReadJSON(strings.NewReader("[1,2")); err == nil {
+		t.Fatal("bad JSON should error")
+	}
+	if _, err := ReadJSON(strings.NewReader(
+		`{"epoch_unix_ns":0,"spans":[{"stage":"grid","dur_ns":-5}]}`)); err == nil {
+		t.Fatal("negative duration should error")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(span(StageGrid, -1, -1, 0, 2000))  // pipeline lane
+	tr.Record(span(StageGrid, 0, 3, 100, 500))   // worker 0
+	tr.Record(span(StageDegrid, 1, 4, 600, 500)) // worker 1
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Args map[string]any
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, meta int
+	lanes := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			lanes[ev.Tid] = true
+			if ev.Dur <= 0 {
+				t.Fatalf("complete event without duration: %+v", ev)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("complete events = %d, want 3", complete)
+	}
+	// One thread_name metadata event per lane (pipeline, worker 0, worker 1).
+	if meta != 3 {
+		t.Fatalf("metadata events = %d, want 3", meta)
+	}
+	for _, tid := range []int{0, 1, 2} {
+		if !lanes[tid] {
+			t.Fatalf("missing lane %d in %v", tid, lanes)
+		}
+	}
+	// Timestamps must be microseconds: the 100ns start becomes 0.1.
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Ts == 0.1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a 0.1us timestamp (ns->us conversion): %s", buf.String())
+	}
+}
+
+// TestTracerConcurrency lets the race detector vet concurrent Record
+// against snapshot reads.
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(10_000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(span(StageGrid, w, i, int64(i), 1))
+				if i%100 == 0 {
+					_ = tr.Len()
+					_ = tr.Spans()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 4000 {
+		t.Fatalf("len = %d, want 4000", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", tr.Dropped())
+	}
+}

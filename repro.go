@@ -134,6 +134,9 @@ type ObservationConfig struct {
 	// Precision selects the kernel compute precision (default Float64;
 	// see Params.Precision).
 	Precision Precision
+	// Observer receives pipeline metrics and trace spans (see
+	// Params.Observer); nil disables observation.
+	Observer *Observer
 }
 
 // DefaultObservation returns a laptop-scale observation that keeps the
@@ -265,6 +268,7 @@ func (c ObservationConfig) BuildPlan() (*Observation, error) {
 		Frequencies: freqs,
 		Workers:     c.Workers,
 		Precision:   c.Precision,
+		Observer:    c.Observer,
 	})
 	if err != nil {
 		return nil, err
