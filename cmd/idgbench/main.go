@@ -61,6 +61,10 @@ func run() int {
 		"write a chrome://tracing timeline of the measured experiment to this file")
 	flag.BoolVar(&showMetrics, "metrics", false,
 		"print the pipeline metrics registry after the measured experiment")
+	flag.IntVar(&gridShards, "grid-shards", 0,
+		"shard the uv-grid into this many locked row bands and stream the measured gridding pass (0: classic batch pipeline)")
+	flag.IntVar(&maxInflight, "max-inflight", 0,
+		"bound on in-flight streaming chunks of the measured experiment; implies streaming when set (0: 2x workers)")
 	flag.Parse()
 
 	if *cpuprofile != "" {

@@ -16,11 +16,14 @@ import (
 	"repro"
 )
 
-// -trace / -metrics flags; the experiment table's fixed run(scale)
-// signature means runMeasured picks them up from package scope.
+// -trace / -metrics / -grid-shards / -max-inflight flags; the
+// experiment table's fixed run(scale) signature means runMeasured
+// picks them up from package scope.
 var (
 	traceFile   string
 	showMetrics bool
+	gridShards  int
+	maxInflight int
 )
 
 // runMeasured executes the real Go IDG pipeline on a scaled-down copy
@@ -46,6 +49,12 @@ func runMeasured(scale float64) {
 	if traceFile != "" || showMetrics {
 		observer = repro.NewObserver(0)
 		cfg.Observer = observer
+	}
+	cfg.GridShards = gridShards
+	cfg.MaxInflightChunks = maxInflight
+	if cfg.GridShards > 0 || cfg.MaxInflightChunks > 0 {
+		fmt.Printf("streaming: %d grid shards, %d in-flight chunks (0 = default)\n",
+			cfg.GridShards, cfg.MaxInflightChunks)
 	}
 
 	obs, err := cfg.Build()

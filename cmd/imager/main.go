@@ -41,6 +41,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 disables)")
 		trace    = flag.String("trace", "", "write a chrome://tracing timeline of the pipeline stages to this file")
 		metrics  = flag.Bool("metrics", false, "print the pipeline metrics registry at exit")
+		shards   = flag.Int("grid-shards", 0, "shard the uv-grid into this many locked row bands and stream gridding (0: classic batch pipeline)")
+		inflight = flag.Int("max-inflight", 0, "bound on in-flight streaming chunks; implies streaming when set (0: 2x workers)")
 	)
 	flag.Parse()
 
@@ -65,6 +67,8 @@ func main() {
 	cfg.NrChannels = *channels
 	cfg.GridSize = *gridSize
 	cfg.GridMargin = *gridSize / 16
+	cfg.GridShards = *shards
+	cfg.MaxInflightChunks = *inflight
 
 	// Observation is opt-in: every IDG pass below (imaging, PSF,
 	// prediction, residual) reports into the same observer.

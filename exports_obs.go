@@ -38,6 +38,7 @@ const (
 	StageSplit  = obs.StageSplit
 	StageDegrid = obs.StageDegrid
 	StageTile   = obs.StageTile
+	StageShard  = obs.StageShard
 	StageWPlane = obs.StageWPlane
 	StageCycle  = obs.StageCycle
 )

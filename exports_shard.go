@@ -1,0 +1,39 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Sharded-grid re-exports: the row-band-partitioned uv-grid accessor
+// behind the streaming gridding pipeline. Most callers only set
+// ObservationConfig.GridShards / MaxInflightChunks and never touch
+// these types; they are exported for tests and for callers that drive
+// the sharded adder/splitter directly.
+
+// ShardedGrid partitions a uv-grid into independently locked row
+// bands so concurrent adders and splitters contend only on shared
+// bands; see internal/grid.Sharded.
+type ShardedGrid = grid.Sharded
+
+// NewShardedGrid wraps g in a sharded accessor with the given number
+// of row bands (clamped to [1, GridSize]).
+func NewShardedGrid(g *Grid, shards int) *ShardedGrid { return grid.NewSharded(g, shards) }
+
+// GridAllStreamed grids every visibility through the sharded
+// streaming scheduler onto a fresh grid, regardless of the
+// configuration's GridShards/MaxInflightChunks opt-in, and returns the
+// grid with the stage times and the fault report. The sharded grid's
+// shard count follows ObservationConfig.GridShards (default: one
+// shard per worker).
+func (o *Observation) GridAllStreamed(ctx context.Context, prov ATermProvider, ft FaultConfig) (*Grid, StageTimes, *FaultReport, error) {
+	if o.Vis == nil {
+		return nil, StageTimes{}, nil, fmt.Errorf("repro: visibilities not allocated")
+	}
+	g := grid.NewGrid(o.Config.GridSize)
+	sh := o.Kernels.NewShardedGrid(g)
+	times, rep, err := o.Kernels.GridVisibilitiesStreamed(ctx, o.Plan, o.Vis, prov, sh, ft)
+	return g, times, rep, err
+}

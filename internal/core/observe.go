@@ -34,6 +34,12 @@ type kernelObs struct {
 	// Kernel dispatch-path counters (which code path actually ran:
 	// essential when a perf number surprises).
 	pathRef, pathTiled32, pathTiled64, pathVec *obs.Counter
+
+	// Sharded-grid and streaming-scheduler instruments.
+	shardLocks, shardContended *obs.Counter
+	streamChunks               *obs.Counter
+	streamInflight             *obs.Gauge
+	streamPeakSubgrids         *obs.Gauge
 }
 
 // newKernelObs resolves the observer's instruments; nil in, nil out.
@@ -63,9 +69,14 @@ func newKernelObs(o *obs.Observer) *kernelObs {
 		ko.pathTiled32 = r.Counter(obs.MetricKernelPathTiled32)
 		ko.pathTiled64 = r.Counter(obs.MetricKernelPathTiled64)
 		ko.pathVec = r.Counter(obs.MetricKernelPathVector)
+		ko.shardLocks = r.Counter(obs.MetricShardLocks)
+		ko.shardContended = r.Counter(obs.MetricShardContention)
+		ko.streamChunks = r.Counter(obs.MetricStreamChunks)
+		ko.streamInflight = r.Gauge(obs.GaugeStreamInflight)
+		ko.streamPeakSubgrids = r.Gauge(obs.GaugeStreamPeakSubgrids)
 		ko.stageNs = make(map[obs.Stage]*obs.Counter)
 		for _, s := range []obs.Stage{obs.StageGrid, obs.StageDegrid, obs.StageFFT,
-			obs.StageAdd, obs.StageSplit, obs.StageWPlane, obs.StageCycle} {
+			obs.StageAdd, obs.StageSplit, obs.StageShard, obs.StageWPlane, obs.StageCycle} {
 			ko.stageNs[s] = r.Counter(obs.StageNsMetric(s))
 		}
 	}
@@ -97,14 +108,17 @@ func (ko *kernelObs) now() time.Time {
 // stageDone records a completed pipeline-stage span (worker/item -1)
 // plus the stage's cumulative wall-time counter. group is the
 // work-group index of the pass (or the plane/cycle index for the outer
-// stages).
-func (ko *kernelObs) stageDone(stage obs.Stage, group int, start time.Time, d time.Duration) {
+// stages); wplane is the W-layer all of the stage's data belongs to
+// (-1 when unknown or mixed), so W-stacked passes attribute stage time
+// to layers.
+func (ko *kernelObs) stageDone(stage obs.Stage, group, wplane int, start time.Time, d time.Duration) {
 	if ko == nil {
 		return
 	}
 	ko.stageNs[stage].Add(d.Nanoseconds())
 	ko.span(obs.Span{Stage: stage, Worker: -1, Group: group, Item: -1,
-		Tile: -1, Baseline: -1, Start: ko.tracer.Offset(start), Dur: d.Nanoseconds()})
+		Tile: -1, Baseline: -1, Shard: -1, WPlane: wplane,
+		Start: ko.tracer.Offset(start), Dur: d.Nanoseconds()})
 }
 
 // itemDone accounts one successfully processed work item: the stage's
@@ -128,7 +142,8 @@ func (ko *kernelObs) itemDone(stage obs.Stage, group, worker, i int, item plan.W
 		ko.retries.Inc()
 	}
 	ko.span(obs.Span{Stage: stage, Worker: worker, Group: group, Item: i,
-		Tile: -1, Baseline: item.Baseline, Start: ko.tracer.Offset(start), Dur: d.Nanoseconds()})
+		Tile: -1, Baseline: item.Baseline, Shard: -1, WPlane: item.WPlane,
+		Start: ko.tracer.Offset(start), Dur: d.Nanoseconds()})
 }
 
 // itemSkipped accounts a work item abandoned under SkipAndFlag and its
@@ -187,7 +202,8 @@ func (ko *kernelObs) tileDone(worker, tile int, start time.Time) {
 	}
 	d := time.Since(start)
 	ko.span(obs.Span{Stage: obs.StageTile, Worker: worker, Group: -1, Item: -1,
-		Tile: tile, Baseline: -1, Start: ko.tracer.Offset(start), Dur: d.Nanoseconds()})
+		Tile: tile, Baseline: -1, Shard: -1, WPlane: -1,
+		Start: ko.tracer.Offset(start), Dur: d.Nanoseconds()})
 }
 
 // planeDone accounts one completed W-layer.
@@ -199,7 +215,8 @@ func (ko *kernelObs) planeDone(wplane int, start time.Time) {
 	ko.wplanes.Inc()
 	ko.stageNs[obs.StageWPlane].Add(d.Nanoseconds())
 	ko.span(obs.Span{Stage: obs.StageWPlane, Worker: -1, Group: wplane, Item: -1,
-		Tile: -1, Baseline: -1, Start: ko.tracer.Offset(start), Dur: d.Nanoseconds()})
+		Tile: -1, Baseline: -1, Shard: -1, WPlane: wplane,
+		Start: ko.tracer.Offset(start), Dur: d.Nanoseconds()})
 }
 
 // cycleImaged accounts the imaging phase (grid + invert + peak) of one
@@ -213,7 +230,58 @@ func (ko *kernelObs) cycleImaged(major int, peak float64, start time.Time) {
 	ko.residualPeak.Set(peak)
 	ko.stageNs[obs.StageCycle].Add(d.Nanoseconds())
 	ko.span(obs.Span{Stage: obs.StageCycle, Worker: -1, Group: major, Item: -1,
-		Tile: -1, Baseline: -1, Start: ko.tracer.Offset(start), Dur: d.Nanoseconds()})
+		Tile: -1, Baseline: -1, Shard: -1, WPlane: -1,
+		Start: ko.tracer.Offset(start), Dur: d.Nanoseconds()})
+}
+
+// tracing reports whether per-shard spans should be recorded; they are
+// too fine-grained to take timestamps for when only metrics are on.
+func (ko *kernelObs) tracing() bool { return ko != nil && ko.tracer != nil }
+
+// shardDone records one locked row-band update of the sharded adder or
+// splitter: the overlap of subgrid (group, item) with grid shard si,
+// attributed to the subgrid's W-layer. Only called when tracing() is
+// true.
+func (ko *kernelObs) shardDone(worker, shard, wplane int, start time.Time) {
+	if ko == nil || ko.tracer == nil {
+		return
+	}
+	d := time.Since(start)
+	ko.span(obs.Span{Stage: obs.StageShard, Worker: worker, Group: -1, Item: -1,
+		Tile: -1, Baseline: -1, Shard: shard, WPlane: wplane,
+		Start: ko.tracer.Offset(start), Dur: d.Nanoseconds()})
+}
+
+// shardBatch accounts one sharded adder/splitter batch: the subgrid
+// counter plus the lock/contention deltas the batch generated.
+func (ko *kernelObs) shardBatch(c *obs.Counter, batch int, locks, contended int64) {
+	if ko == nil {
+		return
+	}
+	c.Add(int64(batch))
+	ko.shardLocks.Add(locks)
+	ko.shardContended.Add(contended)
+}
+
+// chunkDone accounts one completed streaming chunk and the current
+// in-flight count after its release.
+func (ko *kernelObs) chunkDone(inflight int64) {
+	if ko == nil {
+		return
+	}
+	ko.streamChunks.Inc()
+	ko.streamInflight.Set(float64(inflight))
+}
+
+// streamPeak publishes the peak in-flight subgrid count of a streamed
+// pass (set once, at the end, from the scheduler's atomic high-water
+// mark).
+func (ko *kernelObs) streamPeak(peak int64) {
+	if ko == nil {
+		return
+	}
+	ko.streamPeakSubgrids.Set(float64(peak))
+	ko.streamInflight.Set(0)
 }
 
 // countFlagged returns the number of flagged samples inside an item's

@@ -81,6 +81,13 @@ const DefaultPixelTileRows = 4
 // and phasor state.
 const defaultVisBlockFloats = 2048
 
+// DefaultStreamChunkItems is the default number of work items per
+// streaming chunk. At the paper's subgrid size (24 pixels, 4
+// correlations) one chunk of 256 subgrids is ~9 MB of complex128
+// pixels — large enough to amortize per-chunk scheduling, small enough
+// that a handful of in-flight chunks stay far below grid memory.
+const DefaultStreamChunkItems = 256
+
 // Params configures the IDG kernels.
 type Params struct {
 	// GridSize is the grid dimension in pixels.
@@ -122,6 +129,24 @@ type Params struct {
 	// changes per-pixel accumulation order, so results are identical
 	// for every block size.
 	VisBlockTimesteps int
+	// GridShards splits the master uv-grid into this many independently
+	// locked row bands for the sharded adder/splitter and enables the
+	// streaming scheduler in the gridding pipelines. 0 (the default)
+	// keeps the classic in-core batch pipeline; 1 is a single-shard
+	// (one-lock) sharded path that accumulates in exact plan order and
+	// reproduces the serial grid bit-for-bit; > 1 trades bitwise
+	// reproducibility (reordering changes float association, ~1e-15
+	// relative) for adder/splitter scaling. Values above the grid size
+	// are clamped.
+	GridShards int
+	// MaxInflightChunks bounds how many streaming chunks may be between
+	// gridder and adder at once, which bounds peak subgrid memory at
+	// MaxInflightChunks x StreamChunkItems subgrids. <= 0 selects
+	// 2 x workers when streaming is enabled.
+	MaxInflightChunks int
+	// StreamChunkItems is the number of work items per streaming chunk;
+	// <= 0 selects DefaultStreamChunkItems.
+	StreamChunkItems int
 	// DisablePixelTiling runs every subgrid as a single whole-subgrid
 	// work unit (no intra-subgrid fan-out; used by the ablation
 	// benchmarks).
@@ -167,6 +192,12 @@ func (p *Params) Validate() error {
 		return fmt.Errorf("core: negative pixel tile rows %d", p.PixelTileRows)
 	case p.VisBlockTimesteps < 0:
 		return fmt.Errorf("core: negative visibility block %d", p.VisBlockTimesteps)
+	case p.GridShards < 0:
+		return fmt.Errorf("core: negative grid shards %d", p.GridShards)
+	case p.MaxInflightChunks < 0:
+		return fmt.Errorf("core: negative max in-flight chunks %d", p.MaxInflightChunks)
+	case p.StreamChunkItems < 0:
+		return fmt.Errorf("core: negative stream chunk items %d", p.StreamChunkItems)
 	}
 	for i, f := range p.Frequencies {
 		if f <= 0 {
@@ -181,6 +212,39 @@ func (p *Params) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return p.Workers
+}
+
+// streamingEnabled reports whether the gridding pipelines should route
+// through the sharded streaming scheduler. Either knob opts in; the
+// other then takes its default.
+func (p *Params) streamingEnabled() bool {
+	return p.GridShards > 0 || p.MaxInflightChunks > 0
+}
+
+// gridShards resolves the shard count: the configured value, or one
+// shard per worker when only MaxInflightChunks opted into streaming.
+func (p *Params) gridShards() int {
+	if p.GridShards > 0 {
+		return p.GridShards
+	}
+	return p.workers()
+}
+
+// maxInflight resolves the in-flight chunk bound; the default keeps
+// every worker busy with one chunk while another is staged.
+func (p *Params) maxInflight() int {
+	if p.MaxInflightChunks > 0 {
+		return p.MaxInflightChunks
+	}
+	return 2 * p.workers()
+}
+
+// chunkItems resolves the streaming chunk size in work items.
+func (p *Params) chunkItems() int {
+	if p.StreamChunkItems > 0 {
+		return p.StreamChunkItems
+	}
+	return DefaultStreamChunkItems
 }
 
 // Kernels holds the precomputed state shared by all kernel

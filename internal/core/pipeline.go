@@ -221,6 +221,22 @@ func (k *Kernels) newATermCache(prov aterm.Provider) *aterm.Cache {
 	return aterm.NewCache(prov, k.params.SubgridSize, k.params.ImageSize)
 }
 
+// planeOf returns the W-layer shared by every item of a group, or -1
+// when the group is empty or mixes layers (only W-stacked passes plan
+// per-layer, so a mixed group has no single layer to attribute to).
+func planeOf(items []plan.WorkItem) int {
+	if len(items) == 0 {
+		return -1
+	}
+	w := items[0].WPlane
+	for _, it := range items[1:] {
+		if it.WPlane != w {
+			return -1
+		}
+	}
+	return w
+}
+
 // prefillATerms serially warms the cache with every (station, slot)
 // pair a group of work items needs. aterm.Cache is not safe for
 // concurrent writes, but after this prefill every worker Get is a
@@ -260,6 +276,13 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 	if err := k.checkPlan(p, vs); err != nil {
 		return times, rep, err
 	}
+	// Streaming opt-in reroutes the whole pass through the sharded
+	// chunk scheduler (see streaming.go); the classic batch path below
+	// stays the default.
+	if k.params.streamingEnabled() {
+		sh := grid.NewSharded(g, k.params.gridShards())
+		return k.GridVisibilitiesStreamed(ctx, p, vs, prov, sh, ft)
+	}
 	cache := k.newATermCache(prov)
 	// One subgrid-pointer table for the whole pass: work groups are at
 	// most DefaultWorkGroupSize items, so the table is sliced (and its
@@ -270,6 +293,7 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 			return times, rep, faulttol.Canceled(err)
 		}
 		k.prefillATerms(cache, group, vs.Baselines)
+		wp := planeOf(group)
 		subgrids := subgridBuf[:len(group)]
 		for i := range subgrids {
 			subgrids[i] = nil
@@ -279,6 +303,7 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 		err := k.runItems(ctx, obs.StageGrid, gi, group, ft, rep, func(i int, s *scratch, par int) error {
 			item := group[i]
 			sgr := k.getSubgrid(item.X0, item.Y0)
+			sgr.WOffset, sgr.WPlane = item.WOffset, item.WPlane
 			vis := s.visBuf(item.NrVisibilities())
 			vs.gather(item, vis)
 			if k.ob.enabled() {
@@ -296,7 +321,7 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 		})
 		d := time.Since(start)
 		times.Gridder += d
-		k.ob.stageDone(obs.StageGrid, gi, start, d)
+		k.ob.stageDone(obs.StageGrid, gi, wp, start, d)
 		if err != nil {
 			k.releaseSubgrids(subgrids)
 			return times, rep, err
@@ -307,13 +332,13 @@ func (k *Kernels) GridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Visi
 		k.FFTSubgrids(subgrids)
 		d = time.Since(start)
 		times.SubgridFFT += d
-		k.ob.stageDone(obs.StageFFT, gi, start, d)
+		k.ob.stageDone(obs.StageFFT, gi, wp, start, d)
 
 		start = time.Now()
 		k.Adder(subgrids, g)
 		d = time.Since(start)
 		times.Adder += d
-		k.ob.stageDone(obs.StageAdd, gi, start, d)
+		k.ob.stageDone(obs.StageAdd, gi, wp, start, d)
 
 		k.releaseSubgrids(subgrids)
 	}
@@ -357,12 +382,13 @@ func (k *Kernels) DegridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Vi
 			return times, rep, faulttol.Canceled(err)
 		}
 		k.prefillATerms(cache, group, vs.Baselines)
+		wp := planeOf(group)
 		subgrids := subgridBuf[:len(group)]
 		for i, item := range group {
 			// Pooled subgrids arrive with stale pixels; the splitter
 			// overwrites every pixel of every plane.
 			sgr := k.getSubgrid(item.X0, item.Y0)
-			sgr.WOffset = item.WOffset
+			sgr.WOffset, sgr.WPlane = item.WOffset, item.WPlane
 			subgrids[i] = sgr
 		}
 
@@ -370,13 +396,13 @@ func (k *Kernels) DegridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Vi
 		k.Splitter(g, subgrids)
 		d := time.Since(start)
 		times.Splitter += d
-		k.ob.stageDone(obs.StageSplit, gi, start, d)
+		k.ob.stageDone(obs.StageSplit, gi, wp, start, d)
 
 		start = time.Now()
 		k.InverseFFTSubgrids(subgrids)
 		d = time.Since(start)
 		times.SubgridFFT += d
-		k.ob.stageDone(obs.StageFFT, gi, start, d)
+		k.ob.stageDone(obs.StageFFT, gi, wp, start, d)
 
 		start = time.Now()
 		err := k.runItems(ctx, obs.StageDegrid, gi, group, ft, rep, func(i int, s *scratch, par int) error {
@@ -389,7 +415,7 @@ func (k *Kernels) DegridVisibilitiesFT(ctx context.Context, p *plan.Plan, vs *Vi
 		})
 		d = time.Since(start)
 		times.Degridder += d
-		k.ob.stageDone(obs.StageDegrid, gi, start, d)
+		k.ob.stageDone(obs.StageDegrid, gi, wp, start, d)
 		k.releaseSubgrids(subgrids)
 		if err != nil {
 			return times, rep, err

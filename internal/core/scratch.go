@@ -114,7 +114,7 @@ func (k *Kernels) putScratch(s *scratch) {
 // so pooled subgrids are never zeroed.
 func (k *Kernels) getSubgrid(x0, y0 int) *grid.Subgrid {
 	s := k.subgridPool.Get().(*grid.Subgrid)
-	s.X0, s.Y0, s.WOffset = x0, y0, 0
+	s.X0, s.Y0, s.WOffset, s.WPlane = x0, y0, 0, -1
 	return s
 }
 

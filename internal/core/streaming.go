@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aterm"
+	"repro/internal/faulttol"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// NewShardedGrid wraps g in a sharded accessor with the configured
+// shard count (Params.GridShards, defaulting to one shard per worker).
+func (k *Kernels) NewShardedGrid(g *grid.Grid) *grid.Sharded {
+	return grid.NewSharded(g, k.params.gridShards())
+}
+
+// streamAccounting tracks the scheduler's in-flight state: how many
+// chunks are currently between gridder and adder, and the high-water
+// mark of simultaneously alive subgrids (the number the memory bound
+// MaxInflightChunks x StreamChunkItems promises to cap).
+type streamAccounting struct {
+	inflight     atomic.Int64
+	liveSubgrids atomic.Int64
+	peakSubgrids atomic.Int64
+}
+
+func (a *streamAccounting) acquire(subgrids int) {
+	a.inflight.Add(1)
+	live := a.liveSubgrids.Add(int64(subgrids))
+	for {
+		peak := a.peakSubgrids.Load()
+		if live <= peak || a.peakSubgrids.CompareAndSwap(peak, live) {
+			return
+		}
+	}
+}
+
+func (a *streamAccounting) release(subgrids int) (inflight int64) {
+	a.liveSubgrids.Add(int64(-subgrids))
+	return a.inflight.Add(-1)
+}
+
+// GridVisibilitiesStreamed runs the gridding pass as a stream of
+// chunks: the plan is cut into chunks of at most Params.StreamChunkItems
+// work items (plan order preserved), and up to Params.MaxInflightChunks
+// chunks are in flight at once, each flowing grid -> FFT -> add as a
+// unit before its subgrids return to the pool. The chunk is the unit
+// of parallelism — inside a chunk items run serially on the owning
+// worker — so peak subgrid memory is bounded by
+// min(workers, MaxInflightChunks) x StreamChunkItems subgrids
+// regardless of observation length, which is what lets a streamed pass
+// grid observations larger than memory.
+//
+// Accumulation goes through the sharded adder onto sh: overlapping
+// chunks contend only on shared row bands. With Workers <= 1 or one
+// shard the chunks (and their items) run in exact plan order and the
+// result is bit-for-bit identical to the serial batch pipeline;
+// otherwise it differs only by floating-point reassociation.
+//
+// GridVisibilitiesFT routes here automatically when
+// Params.GridShards or Params.MaxInflightChunks opt in.
+func (k *Kernels) GridVisibilitiesStreamed(ctx context.Context, p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, sh *grid.Sharded, ft faulttol.Config) (StageTimes, *faulttol.Report, error) {
+	var times StageTimes
+	rep := faulttol.NewReport(ft)
+	if err := k.checkPlan(p, vs); err != nil {
+		return times, rep, err
+	}
+	if sh.Master().N != k.params.GridSize {
+		return times, rep, fmt.Errorf("core: sharded grid size %d != kernel grid size %d",
+			sh.Master().N, k.params.GridSize)
+	}
+	chunks := p.StreamChunks(k.params.chunkItems())
+	if len(chunks) == 0 {
+		return times, rep, ctxErr(ctx)
+	}
+	// The A-term cache is not write-safe concurrently: warm it for the
+	// whole plan up front, so every worker Get is a read-only hit.
+	cache := k.newATermCache(prov)
+	k.prefillATerms(cache, p.Items, vs.Baselines)
+
+	workers := k.params.workers()
+	if m := k.params.maxInflight(); workers > m {
+		workers = m
+	}
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	attempts := ft.Attempts()
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	var acct streamAccounting
+	var gridNs, fftNs, addNs atomic.Int64
+
+	// runChunk pumps one chunk through grid -> FFT -> add on the
+	// calling worker. Items run serially (par 1): chunk-level
+	// parallelism saturates the pool, so intra-item tile fan-out would
+	// only add scheduling overhead.
+	runChunk := func(worker int, c plan.Chunk, s *scratch, subgrids []*grid.Subgrid) {
+		acct.acquire(len(c.Items))
+		defer func() {
+			k.releaseSubgrids(subgrids)
+			k.ob.chunkDone(acct.release(len(c.Items)))
+		}()
+		wp := planeOf(c.Items)
+
+		gt0 := k.ob.now()
+		t0 := time.Now()
+		for i := range c.Items {
+			if runCtx.Err() != nil {
+				return
+			}
+			item := c.Items[i]
+			it0 := k.ob.now()
+			var err error
+			made := 0
+			for a := 1; a <= attempts; a++ {
+				made = a
+				err = faulttol.Run(func() error {
+					if ft.Hook != nil {
+						ft.Hook(item, a)
+					}
+					sgr := subgrids[i]
+					if sgr == nil {
+						sgr = k.getSubgrid(item.X0, item.Y0)
+						subgrids[i] = sgr
+					}
+					sgr.X0, sgr.Y0 = item.X0, item.Y0
+					sgr.WOffset, sgr.WPlane = item.WOffset, item.WPlane
+					vis := s.visBuf(item.NrVisibilities())
+					vs.gather(item, vis)
+					if k.ob.enabled() {
+						k.ob.flaggedVis(vs.countFlagged(item))
+					}
+					ap, aq := k.lookupATerms(cache, vs.Baselines, item)
+					k.gridSubgridScratch(item, vs.itemUVW(item), vis, ap, aq, sgr, s, 1)
+					if !sgr.Finite() {
+						return fmt.Errorf("%w: non-finite subgrid (corrupt unflagged visibilities)",
+							faulttol.ErrBadInput)
+					}
+					return nil
+				})
+				if err == nil {
+					rep.RecordSuccess(a > 1)
+					k.ob.itemDone(obs.StageGrid, c.Index, worker, i, item, a, it0)
+					break
+				}
+				k.ob.attemptFailed(err)
+				if errors.Is(err, faulttol.ErrBadInput) || runCtx.Err() != nil {
+					break
+				}
+			}
+			if err != nil {
+				// Failed items leave a poisoned subgrid behind; drop it
+				// so the FFT/add stages pass over the slot.
+				if subgrids[i] != nil {
+					k.putSubgrid(subgrids[i])
+					subgrids[i] = nil
+				}
+				ie := &faulttol.ItemError{
+					Baseline:  item.Baseline,
+					TimeStart: item.TimeStart,
+					Channel0:  item.Channel0,
+					Attempts:  made,
+					Err:       err,
+				}
+				if ft.Policy == faulttol.SkipAndFlag {
+					rep.RecordSkip(ie, int64(item.NrVisibilities()))
+					k.ob.itemSkipped(item)
+					continue
+				}
+				fail(ie)
+				return
+			}
+		}
+		d := time.Since(t0)
+		gridNs.Add(d.Nanoseconds())
+		k.ob.stageDone(obs.StageGrid, c.Index, wp, gt0, d)
+
+		if runCtx.Err() != nil {
+			return
+		}
+		ft0 := k.ob.now()
+		t0 = time.Now()
+		for _, sgr := range subgrids {
+			if sgr != nil {
+				k.fftSubgridOne(sgr, false)
+			}
+		}
+		d = time.Since(t0)
+		fftNs.Add(d.Nanoseconds())
+		k.ob.stageDone(obs.StageFFT, c.Index, wp, ft0, d)
+		if k.ob.enabled() {
+			k.ob.subgrids(k.ob.sgFFT, countLive(subgrids))
+		}
+
+		if runCtx.Err() != nil {
+			return
+		}
+		at0 := k.ob.now()
+		t0 = time.Now()
+		k.AdderSharded(subgrids, sh)
+		d = time.Since(t0)
+		addNs.Add(d.Nanoseconds())
+		k.ob.stageDone(obs.StageAdd, c.Index, wp, at0, d)
+	}
+
+	if workers == 1 {
+		// Serial dispatch in chunk order: with one shard this is the
+		// bit-for-bit reference ordering.
+		s := k.getScratch()
+		subgrids := make([]*grid.Subgrid, k.params.chunkItems())
+		for _, c := range chunks {
+			if runCtx.Err() != nil {
+				break
+			}
+			runChunk(0, c, s, subgrids[:len(c.Items)])
+		}
+		k.putScratch(s)
+	} else {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				s := k.getScratch()
+				defer k.putScratch(s)
+				subgrids := make([]*grid.Subgrid, k.params.chunkItems())
+				for runCtx.Err() == nil {
+					ci := int(next.Add(1)) - 1
+					if ci >= len(chunks) {
+						return
+					}
+					c := chunks[ci]
+					runChunk(worker, c, s, subgrids[:len(c.Items)])
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	k.ob.streamPeak(acct.peakSubgrids.Load())
+	times.Gridder = time.Duration(gridNs.Load())
+	times.SubgridFFT = time.Duration(fftNs.Load())
+	times.Adder = time.Duration(addNs.Load())
+	if firstErr != nil {
+		return times, rep, firstErr
+	}
+	return times, rep, ctxErr(ctx)
+}
+
+// PeakInflightSubgrids returns the high-water mark the latest streamed
+// pass published to the observer's GaugeStreamPeakSubgrids, or 0
+// without an observer. Tests use it to check the streaming memory
+// bound.
+func PeakInflightSubgrids(o *obs.Observer) int64 {
+	if o == nil || o.Metrics == nil {
+		return 0
+	}
+	return int64(o.Metrics.Gauge(obs.GaugeStreamPeakSubgrids).Value())
+}

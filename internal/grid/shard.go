@@ -1,0 +1,242 @@
+package grid
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded partitions a master uv-grid into contiguous row bands
+// ("shards"), each guarded by its own mutex, so many workers can
+// accumulate (or extract) overlapping subgrids concurrently without
+// funnelling every update through one lock. Two subgrids contend only
+// when they overlap the same band, so with S shards the adder scales
+// toward min(workers, S) instead of serializing.
+//
+// Rows are the natural partition axis: subgrids are row-contiguous
+// rectangles, so one subgrid touches at most
+// ceil(SubgridSize/rowsPerShard)+1 shards, and each shard update is a
+// run of full cache lines. The bands need not divide the grid evenly;
+// NewSharded balances them to within one row.
+//
+// A Sharded also counts lock acquisitions and contended acquisitions
+// per shard, the raw signal behind the obs contention metrics.
+type Sharded struct {
+	g      *Grid
+	bounds []int // len(shards)+1; shard i owns rows [bounds[i], bounds[i+1])
+	shards []shardState
+}
+
+// shardState is one row band's lock and counters, padded out to its
+// own cache line so neighbouring shards' locks don't false-share.
+type shardState struct {
+	mu        sync.Mutex
+	locks     atomic.Int64
+	contended atomic.Int64
+	_         [64 - 8 - 16]byte
+}
+
+// NewSharded wraps g in a sharded accessor with the given number of
+// row bands. shards is clamped to [1, g.N]; values <= 0 select one
+// shard (a single lock, the degenerate but still concurrency-safe
+// layout).
+func NewSharded(g *Grid, shards int) *Sharded {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > g.N {
+		shards = g.N
+	}
+	sh := &Sharded{g: g, shards: make([]shardState, shards)}
+	sh.bounds = ShardBounds(g.N, shards)
+	return sh
+}
+
+// ShardBounds returns the balanced row partition of n rows into the
+// given number of bands: a slice of shards+1 boundaries where band i
+// owns rows [bounds[i], bounds[i+1]). The first n%shards bands get one
+// extra row, so the partition is exact for every (n, shards) pair.
+func ShardBounds(n, shards int) []int {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	bounds := make([]int, shards+1)
+	base, rem := n/shards, n%shards
+	row := 0
+	for i := 0; i < shards; i++ {
+		bounds[i] = row
+		row += base
+		if i < rem {
+			row++
+		}
+	}
+	bounds[shards] = n
+	return bounds
+}
+
+// Master returns the underlying grid. Reading it is only safe once no
+// concurrent AddSubgrid/CopySubgrid calls are in flight.
+func (sh *Sharded) Master() *Grid { return sh.g }
+
+// NumShards returns the number of row bands.
+func (sh *Sharded) NumShards() int { return len(sh.shards) }
+
+// Bounds returns the row range [lo, hi) owned by shard i.
+func (sh *Sharded) Bounds(i int) (lo, hi int) {
+	return sh.bounds[i], sh.bounds[i+1]
+}
+
+// ShardOfRow returns the shard owning grid row y. The balanced
+// partition makes this a closed form: the first rem shards have
+// base+1 rows, the rest base.
+func (sh *Sharded) ShardOfRow(y int) int {
+	n, s := sh.g.N, len(sh.shards)
+	base, rem := n/s, n%s
+	split := rem * (base + 1)
+	if y < split {
+		return y / (base + 1)
+	}
+	return rem + (y-split)/base
+}
+
+// shardSpan returns the inclusive shard index range a subgrid's rows
+// overlap.
+func (sh *Sharded) shardSpan(s *Subgrid) (lo, hi int) {
+	return sh.ShardOfRow(s.Y0), sh.ShardOfRow(s.Y0 + s.N - 1)
+}
+
+// lock acquires shard si's mutex, counting the acquisition and
+// whether it was contended; it reports contention to the caller for
+// per-batch metric deltas.
+func (st *shardState) lock() (contended bool) {
+	if st.mu.TryLock() {
+		st.locks.Add(1)
+		return false
+	}
+	st.mu.Lock()
+	st.locks.Add(1)
+	st.contended.Add(1)
+	return true
+}
+
+// AddSubgridShard accumulates the rows of s that fall into shard si
+// onto the master grid, holding only that shard's lock. It returns
+// whether the lock acquisition was contended. Rows of s outside the
+// shard are untouched; callers iterate the range given by
+// ShardOfRow(s.Y0) .. ShardOfRow(s.Y0+s.N-1).
+func (sh *Sharded) AddSubgridShard(s *Subgrid, si int) (contended bool) {
+	if !s.InBounds(sh.g.N) {
+		panic(fmt.Sprintf("grid: subgrid (%d,%d)+%d outside %d-pixel sharded grid", s.X0, s.Y0, s.N, sh.g.N))
+	}
+	lo, hi := sh.bounds[si], sh.bounds[si+1]
+	if lo < s.Y0 {
+		lo = s.Y0
+	}
+	if hi > s.Y0+s.N {
+		hi = s.Y0 + s.N
+	}
+	if lo >= hi {
+		return false
+	}
+	st := &sh.shards[si]
+	contended = st.lock()
+	g := sh.g
+	for y := lo; y < hi; y++ {
+		sy := y - s.Y0
+		for c := 0; c < NrCorrelations; c++ {
+			dst := g.Data[c][y*g.N+s.X0 : y*g.N+s.X0+s.N]
+			src := s.Data[c][sy*s.N : (sy+1)*s.N]
+			for x := range dst {
+				dst[x] += src[x]
+			}
+		}
+	}
+	st.mu.Unlock()
+	return contended
+}
+
+// AddSubgrid accumulates the whole subgrid onto the master grid,
+// locking each overlapped shard in turn. It returns the number of
+// shard locks taken and how many of them were contended.
+func (sh *Sharded) AddSubgrid(s *Subgrid) (locks, contended int) {
+	lo, hi := sh.shardSpan(s)
+	for si := lo; si <= hi; si++ {
+		locks++
+		if sh.AddSubgridShard(s, si) {
+			contended++
+		}
+	}
+	return locks, contended
+}
+
+// CopySubgridShard extracts the rows of shard si covered by s from the
+// master grid into s, holding that shard's lock so the copy is
+// coherent with concurrent adders. It returns whether the lock was
+// contended.
+func (sh *Sharded) CopySubgridShard(s *Subgrid, si int) (contended bool) {
+	if !s.InBounds(sh.g.N) {
+		panic(fmt.Sprintf("grid: subgrid (%d,%d)+%d outside %d-pixel sharded grid", s.X0, s.Y0, s.N, sh.g.N))
+	}
+	lo, hi := sh.bounds[si], sh.bounds[si+1]
+	if lo < s.Y0 {
+		lo = s.Y0
+	}
+	if hi > s.Y0+s.N {
+		hi = s.Y0 + s.N
+	}
+	if lo >= hi {
+		return false
+	}
+	st := &sh.shards[si]
+	contended = st.lock()
+	g := sh.g
+	for y := lo; y < hi; y++ {
+		sy := y - s.Y0
+		for c := 0; c < NrCorrelations; c++ {
+			copy(s.Data[c][sy*s.N:(sy+1)*s.N], g.Data[c][y*g.N+s.X0:y*g.N+s.X0+s.N])
+		}
+	}
+	st.mu.Unlock()
+	return contended
+}
+
+// CopySubgrid extracts the whole subgrid from the master grid under
+// per-shard locks (the locked splitter primitive). It returns the
+// lock and contention counts like AddSubgrid.
+func (sh *Sharded) CopySubgrid(s *Subgrid) (locks, contended int) {
+	lo, hi := sh.shardSpan(s)
+	for si := lo; si <= hi; si++ {
+		locks++
+		if sh.CopySubgridShard(s, si) {
+			contended++
+		}
+	}
+	return locks, contended
+}
+
+// LockStats returns per-shard cumulative lock acquisition and
+// contention counts since construction.
+func (sh *Sharded) LockStats() (locks, contended []int64) {
+	locks = make([]int64, len(sh.shards))
+	contended = make([]int64, len(sh.shards))
+	for i := range sh.shards {
+		locks[i] = sh.shards[i].locks.Load()
+		contended[i] = sh.shards[i].contended.Load()
+	}
+	return locks, contended
+}
+
+// Zero clears the master grid under all shard locks (safe next to
+// concurrent adders, though the result then depends on interleaving).
+func (sh *Sharded) Zero() {
+	for i := range sh.shards {
+		sh.shards[i].mu.Lock()
+	}
+	sh.g.Zero()
+	for i := range sh.shards {
+		sh.shards[i].mu.Unlock()
+	}
+}

@@ -18,6 +18,10 @@ type Subgrid struct {
 	// WOffset is the w coordinate (in wavelengths) this subgrid is
 	// centered on; non-zero when W-stacking assigns it to a W-layer.
 	WOffset float64
+	// WPlane is the W-layer index this subgrid belongs to, carried so
+	// downstream stages (the sharded adder's spans in particular) can
+	// attribute work to layers; -1 when the pass is not W-stacked.
+	WPlane int
 	// Data holds one row-major N*N plane per correlation.
 	Data [NrCorrelations][]complex128
 }
@@ -27,7 +31,7 @@ func NewSubgrid(n, x0, y0 int) *Subgrid {
 	if n < 1 {
 		panic(fmt.Sprintf("grid: invalid subgrid size %d", n))
 	}
-	s := &Subgrid{N: n, X0: x0, Y0: y0}
+	s := &Subgrid{N: n, X0: x0, Y0: y0, WPlane: -1}
 	backing := make([]complex128, NrCorrelations*n*n)
 	for c := 0; c < NrCorrelations; c++ {
 		s.Data[c] = backing[c*n*n : (c+1)*n*n]
@@ -68,6 +72,7 @@ func (s *Subgrid) Zero() {
 func (s *Subgrid) Clone() *Subgrid {
 	out := NewSubgrid(s.N, s.X0, s.Y0)
 	out.WOffset = s.WOffset
+	out.WPlane = s.WPlane
 	for c := range s.Data {
 		copy(out.Data[c], s.Data[c])
 	}

@@ -33,6 +33,10 @@ const (
 	// StageTile is one pixel tile of a work item, recorded only when
 	// tiles fan out across workers (runTiles with par > 1).
 	StageTile Stage = "tile"
+	// StageShard is one locked row-band update of the sharded adder or
+	// splitter: the overlap of one subgrid with one grid shard. Shard
+	// spans carry the shard index and the subgrid's W-layer.
+	StageShard Stage = "shard"
 	// StageWPlane is one W-layer of a W-stacked pass.
 	StageWPlane Stage = "wplane"
 	// StageCycle is the imaging phase (grid + invert + peak) of one
@@ -90,6 +94,24 @@ const (
 	// MetricKernelPathVector counts invocations of the hand-vectorized
 	// AVX2 float64 tile kernels.
 	MetricKernelPathVector = "kernel_path_vector_total"
+	// MetricShardLocks counts shard-lock acquisitions by the sharded
+	// adder and splitter (one per subgrid x shard overlap).
+	MetricShardLocks = "grid_shard_locks_total"
+	// MetricShardContention counts shard-lock acquisitions that found
+	// the lock held and had to wait. The ratio to MetricShardLocks is
+	// the write-contention probability; raise Params.GridShards when it
+	// climbs.
+	MetricShardContention = "grid_shard_contention_total"
+	// MetricStreamChunks counts work chunks completed by the streaming
+	// scheduler.
+	MetricStreamChunks = "stream_chunks_total"
+	// GaugeStreamInflight holds the number of chunks currently in
+	// flight in the streaming scheduler (grid -> FFT -> add).
+	GaugeStreamInflight = "stream_inflight_chunks"
+	// GaugeStreamPeakSubgrids holds the peak number of subgrids
+	// simultaneously alive during the latest streamed pass; the memory
+	// bound MaxInflightChunks x chunk size is checked against it.
+	GaugeStreamPeakSubgrids = "stream_peak_inflight_subgrids"
 	// GaugeResidualPeak holds the residual peak entering the latest
 	// major cycle.
 	GaugeResidualPeak = "cycle_residual_peak"

@@ -29,6 +29,13 @@ type Span struct {
 	Tile int `json:"tile"`
 	// Baseline is the plan baseline of an item span; -1 otherwise.
 	Baseline int `json:"baseline"`
+	// Shard is the grid-shard index of a StageShard span (one locked
+	// row band of the sharded adder/splitter); -1 otherwise.
+	Shard int `json:"shard"`
+	// WPlane is the W-layer index the span's data belongs to, so
+	// W-stacked passes attribute adder/splitter work to layers the same
+	// way tile spans carry tile ids; -1 when unknown or mixed.
+	WPlane int `json:"wplane"`
 	// Start is the span begin time in nanoseconds since the tracer
 	// epoch; Dur is its length in nanoseconds.
 	Start int64 `json:"start_ns"`
@@ -183,6 +190,8 @@ type chromeArgs struct {
 	Item     int    `json:"item,omitempty"`
 	Tile     int    `json:"tile,omitempty"`
 	Baseline int    `json:"baseline,omitempty"`
+	Shard    int    `json:"shard,omitempty"`
+	WPlane   int    `json:"wplane,omitempty"`
 }
 
 // WriteChromeTrace writes the spans as a chrome://tracing-compatible
@@ -205,8 +214,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Pid:  1,
 			Tid:  tid,
 		}
-		if s.Item >= 0 || s.Tile >= 0 || s.Group >= 0 {
-			ev.Args = &chromeArgs{Group: s.Group, Item: s.Item, Tile: s.Tile, Baseline: s.Baseline}
+		if s.Item >= 0 || s.Tile >= 0 || s.Group >= 0 || s.Shard >= 0 || s.WPlane >= 0 {
+			ev.Args = &chromeArgs{Group: s.Group, Item: s.Item, Tile: s.Tile,
+				Baseline: s.Baseline, Shard: s.Shard, WPlane: s.WPlane}
 		}
 		events = append(events, ev)
 	}

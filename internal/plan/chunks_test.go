@@ -1,0 +1,124 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chunkTestPlan fabricates a plan with n synthetic items; chunking
+// only reads Items, so the geometry fields can stay zero.
+func chunkTestPlan(n int) *Plan {
+	p := &Plan{}
+	for i := 0; i < n; i++ {
+		p.Items = append(p.Items, WorkItem{
+			Baseline:  i % 7,
+			TimeStart: (i * 3) % 50, NrTimesteps: 1 + i%5,
+			NrChannels: 4,
+			X0:         i % 100, Y0: (i * 11) % 100,
+		})
+	}
+	return p
+}
+
+func TestStreamChunksPreservePlanOrder(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 256, 257, 1000} {
+		for _, maxItems := range []int{0, 1, 3, 256, 5000} {
+			p := chunkTestPlan(n)
+			chunks := p.StreamChunks(maxItems)
+			if n == 0 {
+				if chunks != nil {
+					t.Fatalf("n=0: got %d chunks, want none", len(chunks))
+				}
+				continue
+			}
+			var flat []WorkItem
+			for i, c := range chunks {
+				if c.Index != i {
+					t.Fatalf("chunk %d has Index %d", i, c.Index)
+				}
+				if len(c.Items) == 0 {
+					t.Fatalf("chunk %d is empty", i)
+				}
+				if maxItems > 0 && len(c.Items) > maxItems {
+					t.Fatalf("chunk %d has %d items, max %d", i, len(c.Items), maxItems)
+				}
+				flat = append(flat, c.Items...)
+			}
+			if len(flat) != n {
+				t.Fatalf("n=%d max=%d: chunks cover %d items", n, maxItems, len(flat))
+			}
+			for i := range flat {
+				if flat[i] != p.Items[i] {
+					t.Fatalf("n=%d max=%d: item %d reordered", n, maxItems, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamChunksTimeWindow(t *testing.T) {
+	p := chunkTestPlan(40)
+	for _, c := range p.StreamChunks(7) {
+		lo, hi := c.Items[0].TimeStart, c.Items[0].TimeStart+c.Items[0].NrTimesteps
+		for _, it := range c.Items {
+			if it.TimeStart < lo {
+				lo = it.TimeStart
+			}
+			if e := it.TimeStart + it.NrTimesteps; e > hi {
+				hi = e
+			}
+		}
+		if c.TimeStart != lo || c.TimeEnd != hi {
+			t.Fatalf("chunk %d window [%d,%d), want [%d,%d)", c.Index, c.TimeStart, c.TimeEnd, lo, hi)
+		}
+	}
+}
+
+func TestShardOrderIsPermutation(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		n := rnd.Intn(200)
+		shards := 1 + rnd.Intn(16)
+		shardOf := func(i int) int { return (i * 31) % shards }
+		order := ShardOrder(n, shards, shardOf)
+		if len(order) != n {
+			t.Fatalf("n=%d: order has %d entries", n, len(order))
+		}
+		seen := make([]bool, n)
+		for _, i := range order {
+			if i < 0 || i >= n || seen[i] {
+				t.Fatalf("n=%d shards=%d: bad or duplicate index %d", n, shards, i)
+			}
+			seen[i] = true
+		}
+		// Items of one shard must keep their relative order.
+		last := make(map[int]int)
+		for _, i := range order {
+			s := shardOf(i)
+			if prev, ok := last[s]; ok && i < prev {
+				t.Fatalf("shard %d items reordered: %d after %d", s, i, prev)
+			}
+			last[s] = i
+		}
+	}
+}
+
+func TestShardOrderInterleavesShards(t *testing.T) {
+	// 12 items, 3 shards assigned blockwise: round-robin interleave
+	// must cycle 0,4,8,1,5,9,...
+	order := ShardOrder(12, 3, func(i int) int { return i / 4 })
+	want := []int{0, 4, 8, 1, 5, 9, 2, 6, 10, 3, 7, 11}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestShardOrderClampsShardIndex(t *testing.T) {
+	// Out-of-range shardOf values must clamp, not panic or drop items.
+	order := ShardOrder(10, 4, func(i int) int { return i - 5 })
+	if len(order) != 10 {
+		t.Fatalf("clamped order has %d entries", len(order))
+	}
+}

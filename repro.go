@@ -134,6 +134,15 @@ type ObservationConfig struct {
 	// Precision selects the kernel compute precision (default Float64;
 	// see Params.Precision).
 	Precision Precision
+	// GridShards splits the uv-grid into independently locked row
+	// bands and routes gridding through the sharded streaming
+	// scheduler; 0 keeps the classic batch pipeline (see
+	// Params.GridShards).
+	GridShards int
+	// MaxInflightChunks bounds the streaming scheduler's in-flight
+	// chunks — and with it peak subgrid memory (see
+	// Params.MaxInflightChunks).
+	MaxInflightChunks int
 	// Observer receives pipeline metrics and trace spans (see
 	// Params.Observer); nil disables observation.
 	Observer *Observer
@@ -262,13 +271,15 @@ func (c ObservationConfig) BuildPlan() (*Observation, error) {
 		return nil, err
 	}
 	k, err := core.NewKernels(Params{
-		GridSize:    c.GridSize,
-		SubgridSize: c.SubgridSize,
-		ImageSize:   imageSize,
-		Frequencies: freqs,
-		Workers:     c.Workers,
-		Precision:   c.Precision,
-		Observer:    c.Observer,
+		GridSize:          c.GridSize,
+		SubgridSize:       c.SubgridSize,
+		ImageSize:         imageSize,
+		Frequencies:       freqs,
+		Workers:           c.Workers,
+		Precision:         c.Precision,
+		GridShards:        c.GridShards,
+		MaxInflightChunks: c.MaxInflightChunks,
+		Observer:          c.Observer,
 	})
 	if err != nil {
 		return nil, err

@@ -15,7 +15,7 @@ go build ./...
 go test -race -short ./internal/core/... ./internal/faulttol/... ./internal/obs/...
 go test -race ./...
 go test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
-go test -race -run 'Facade|Chaos|Cancel' . ./internal/core/
+go test -race -run 'Facade|Chaos|Cancel|Shard|Soak|Streamed' . ./internal/core/
 scripts/bench.sh -short
 
 # Performance regression gate: briefly re-measure the two kernel
