@@ -21,10 +21,11 @@ race:
 	$(GO) test -race ./...
 
 # The chaos tests drive the worker pool through injected panics,
-# corrupt visibilities and cancellation; racing them exercises the
-# report/cancel paths under contention.
+# corrupt visibilities, cancellation and simulated kills at the
+# checkpoint protocol's crash points; racing them exercises the
+# report/cancel/resume paths under contention.
 chaos:
 	$(GO) test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
-	$(GO) test -race -run 'Facade|Chaos|Cancel' . ./internal/core/
+	$(GO) test -race -run 'Facade|Chaos|Cancel|Checkpoint|Resume|Kill' . ./internal/core/ ./internal/checkpoint/
 
 ci: vet build race chaos

@@ -27,7 +27,17 @@ func NewShardedGrid(g *Grid, shards int) *ShardedGrid { return grid.NewSharded(g
 // configuration's GridShards/MaxInflightChunks opt-in, and returns the
 // grid with the stage times and the fault report. The sharded grid's
 // shard count follows ObservationConfig.GridShards (default: one
-// shard per worker).
+// shard per worker). With ObservationConfig.CheckpointDir set the
+// pass writes durable snapshots as it goes; see
+// Observation.ResumeStreamed for continuing an interrupted pass.
+//
+// Cancellation: when ctx is canceled mid-pass the returned error
+// matches errors.Is(err, ErrCanceled) (and the context's own
+// sentinel) even when the cancellation surfaced inside a retry layer.
+// The returned grid is still the partially filled grid: it holds
+// exactly the chunks whose add stage completed — every value finite
+// and correctly accumulated, but covering only part of the plan — so
+// it is suitable for inspection or checkpointing, not for imaging.
 func (o *Observation) GridAllStreamed(ctx context.Context, prov ATermProvider, ft FaultConfig) (*Grid, StageTimes, *FaultReport, error) {
 	if o.Vis == nil {
 		return nil, StageTimes{}, nil, fmt.Errorf("repro: visibilities not allocated")

@@ -1,0 +1,312 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faulttol"
+	"repro/internal/grid"
+	"repro/internal/plan"
+)
+
+// testSnapshot builds a deterministic snapshot whose grid has a
+// distinct value at every (correlation, pixel).
+func testSnapshot(gridSize, shards, cursor int) *Snapshot {
+	g := grid.NewGrid(gridSize)
+	for c := range g.Data {
+		for i := range g.Data[c] {
+			g.Data[c][i] = complex(float64(c*100000+i)*0.5, -float64(i)-float64(c))
+		}
+	}
+	var sum [32]byte
+	for i := range sum {
+		sum[i] = byte(i * 7)
+	}
+	return &Snapshot{
+		GridSize:   gridSize,
+		Shards:     shards,
+		NextChunk:  cursor,
+		ChunkItems: 4,
+		PlanSum:    sum,
+		Report: faulttol.ReportState{
+			ItemsProcessed:      25,
+			ItemsRetried:        3,
+			ItemsSkipped:        2,
+			DroppedVisibilities: 37,
+		},
+		Grid: g,
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, shards := range []int{1, 3, 16} {
+		dir := t.TempDir()
+		want := testSnapshot(16, shards, 7)
+		path, n, err := Write(dir, want, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filepath.Base(path) != FileName(7) {
+			t.Fatalf("published as %s, want %s", filepath.Base(path), FileName(7))
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != n {
+			t.Fatalf("Write reported %d bytes, file is %d", n, st.Size())
+		}
+
+		got, err := Read(path)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got.GridSize != want.GridSize || got.Shards != shards ||
+			got.NextChunk != want.NextChunk || got.ChunkItems != want.ChunkItems {
+			t.Fatalf("header mismatch: %+v", got)
+		}
+		if got.PlanSum != want.PlanSum {
+			t.Fatal("plan fingerprint mismatch")
+		}
+		if got.Report != want.Report {
+			t.Fatalf("report state %+v, want %+v", got.Report, want.Report)
+		}
+		for c := range want.Grid.Data {
+			for i := range want.Grid.Data[c] {
+				if got.Grid.Data[c][i] != want.Grid.Data[c][i] {
+					t.Fatalf("grid value [%d][%d] not bit-identical", c, i)
+				}
+			}
+		}
+		// No temp residue next to the published snapshot.
+		entries, _ := os.ReadDir(dir)
+		if len(entries) != 1 {
+			t.Fatalf("directory holds %d entries, want the snapshot alone", len(entries))
+		}
+	}
+}
+
+// writeTestFile publishes a snapshot and returns the raw bytes and
+// path for corruption tests.
+func writeTestFile(t *testing.T, dir string, cursor int) (string, []byte) {
+	t.Helper()
+	path, _, err := Write(dir, testSnapshot(16, 3, cursor), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, raw
+}
+
+func TestCheckpointTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path, raw := writeTestFile(t, dir, 1)
+	for _, keep := range []int{0, 5, len(magic) + 2, 60, len(raw) / 2, len(raw) - 1} {
+		if err := os.WriteFile(path, raw[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: got %v, want ErrCorrupt", keep, err)
+		}
+	}
+}
+
+func TestCheckpointFlippedByte(t *testing.T) {
+	dir := t.TempDir()
+	path, raw := writeTestFile(t, dir, 1)
+	// Flip one bit deep in the grid payload (digest catches it) and one
+	// in the trailing digest itself.
+	for _, off := range []int{len(raw) / 2, len(raw) - 4} {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x10
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flipped byte at %d: got %v, want ErrCorrupt", off, err)
+		}
+	}
+}
+
+func TestCheckpointWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	path, raw := writeTestFile(t, dir, 1)
+	bad := append([]byte(nil), raw...)
+	bad[len(magic)] = 99 // version field follows the magic
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version 99: got %v, want ErrVersion", err)
+	}
+}
+
+func TestCheckpointImplausibleHeader(t *testing.T) {
+	dir := t.TempDir()
+	path, raw := writeTestFile(t, dir, 1)
+	// A hostile grid size must be rejected before any allocation is
+	// attempted; the file is far too small for the claimed layout.
+	bad := append([]byte(nil), raw...)
+	bad[len(magic)+4] = 0xff
+	bad[len(magic)+5] = 0xff
+	bad[len(magic)+6] = 0xff
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge grid size: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadLatestFallsBackPastCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := Write(dir, testSnapshot(16, 3, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	newest, raw := writeTestFile(t, dir, 4)
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(newest, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sn, path, notes, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn == nil || sn.NextChunk != 2 {
+		t.Fatalf("fell back to %+v, want the cursor-2 snapshot", sn)
+	}
+	if filepath.Base(path) != FileName(2) {
+		t.Fatalf("loaded %s", path)
+	}
+	if len(notes) != 1 {
+		t.Fatalf("notes = %v, want one fallback note", notes)
+	}
+}
+
+func TestLoadLatestAllCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	for _, cursor := range []int{2, 4} {
+		path, raw := writeTestFile(t, dir, cursor)
+		if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn, _, notes, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn != nil {
+		t.Fatalf("got snapshot %+v from an all-corrupt directory", sn)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("notes = %v, want two fallback notes", notes)
+	}
+}
+
+func TestLoadLatestEmptyAndMissingDir(t *testing.T) {
+	sn, _, notes, err := LoadLatest(t.TempDir())
+	if err != nil || sn != nil || len(notes) != 0 {
+		t.Fatalf("empty dir: %v %v %v", sn, notes, err)
+	}
+	sn, _, notes, err = LoadLatest(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil || sn != nil || len(notes) != 0 {
+		t.Fatalf("missing dir: %v %v %v", sn, notes, err)
+	}
+}
+
+func TestLoadLatestPrefersNewestCursor(t *testing.T) {
+	dir := t.TempDir()
+	// Cursor 10 sorts after cursor 2 only with zero padding.
+	for _, cursor := range []int{2, 10} {
+		if _, _, err := Write(dir, testSnapshot(16, 3, cursor), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn, _, _, err := LoadLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.NextChunk != 10 {
+		t.Fatalf("loaded cursor %d, want 10", sn.NextChunk)
+	}
+}
+
+// TestWriteCrashBeforeRenameLeavesNoSnapshot: a kill between sync and
+// rename must not publish a snapshot (the previous checkpoint set
+// stays authoritative) and must not leave junk a reader would pick up.
+func TestWriteCrashBeforeRenameLeavesNoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	var sawEvent Event
+	var sawChunk int
+	hook := func(ev Event, chunk int) {
+		sawEvent, sawChunk = ev, chunk
+		panic("simulated kill")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("hook panic did not propagate")
+			}
+		}()
+		Write(dir, testSnapshot(16, 3, 5), hook)
+	}()
+	if sawEvent != EventBeforeRename || sawChunk != 4 {
+		t.Fatalf("hook saw (%v, %d), want (before-rename, 4)", sawEvent, sawChunk)
+	}
+	names, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("crash published %v", names)
+	}
+	// LoadLatest over the aftermath is a clean restart, not an error.
+	sn, _, _, err := LoadLatest(dir)
+	if err != nil || sn != nil {
+		t.Fatalf("post-crash LoadLatest: %v %v", sn, err)
+	}
+}
+
+func testPlan() *plan.Plan {
+	return &plan.Plan{
+		Config: plan.Config{
+			GridSize:    64,
+			SubgridSize: 8,
+			ImageSize:   0.1,
+			Frequencies: []float64{1e8, 1.1e8},
+		},
+		Items: []plan.WorkItem{
+			{Baseline: 0, TimeStart: 0, NrTimesteps: 4, Channel0: 0, NrChannels: 2, X0: 3, Y0: 5},
+			{Baseline: 1, TimeStart: 4, NrTimesteps: 4, Channel0: 0, NrChannels: 2, X0: 9, Y0: 1, WPlane: 1, WOffset: 2.5},
+		},
+	}
+}
+
+func TestPlanFingerprint(t *testing.T) {
+	p := testPlan()
+	a := PlanFingerprint(p)
+	if a != PlanFingerprint(testPlan()) {
+		t.Fatal("fingerprint not deterministic")
+	}
+	q := testPlan()
+	q.Items[1].X0++
+	if a == PlanFingerprint(q) {
+		t.Fatal("moved work item not reflected in fingerprint")
+	}
+	r := testPlan()
+	r.Frequencies = []float64{1e8, 1.2e8}
+	if a == PlanFingerprint(r) {
+		t.Fatal("changed subband not reflected in fingerprint")
+	}
+	s := testPlan()
+	s.Items = s.Items[:1]
+	if a == PlanFingerprint(s) {
+		t.Fatal("dropped work item not reflected in fingerprint")
+	}
+}

@@ -1,0 +1,57 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadCheckpoint throws arbitrary bytes at the snapshot reader.
+// Read must never panic or allocate based on unvalidated header
+// fields; anything that is not a byte-exact valid snapshot must fail
+// with an error, and anything it accepts must carry sane fields.
+func FuzzReadCheckpoint(f *testing.F) {
+	// Seed with a genuine snapshot plus systematic mutations of it, so
+	// the fuzzer starts from deep coverage of the happy path.
+	dir := f.TempDir()
+	path, _, err := Write(dir, testSnapshot(4, 2, 3), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(magic)+4])
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "fuzz.idgckpt")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sn, err := Read(p)
+		if err != nil {
+			if sn != nil {
+				t.Fatal("Read returned both a snapshot and an error")
+			}
+			return
+		}
+		if sn == nil || sn.Grid == nil {
+			t.Fatal("Read succeeded without a grid")
+		}
+		if sn.GridSize < 2 || sn.GridSize > maxGridSize || sn.Grid.N != sn.GridSize {
+			t.Fatalf("accepted implausible grid size %d", sn.GridSize)
+		}
+		if sn.Shards < 1 || sn.Shards > sn.GridSize {
+			t.Fatalf("accepted implausible shard count %d", sn.Shards)
+		}
+		if sn.NextChunk < 0 || sn.ChunkItems < 1 {
+			t.Fatalf("accepted implausible cursor %d / chunk size %d", sn.NextChunk, sn.ChunkItems)
+		}
+	})
+}

@@ -40,6 +40,14 @@ type kernelObs struct {
 	streamChunks               *obs.Counter
 	streamInflight             *obs.Gauge
 	streamPeakSubgrids         *obs.Gauge
+
+	// Retry-visibility and checkpoint-durability instruments.
+	retryAttempts *obs.Counter
+	retrySeconds  *obs.Histogram
+	ckptWrites    *obs.Counter
+	ckptBytes     *obs.Counter
+	ckptRestores  *obs.Counter
+	ckptSeconds   *obs.Histogram
 }
 
 // newKernelObs resolves the observer's instruments; nil in, nil out.
@@ -74,6 +82,12 @@ func newKernelObs(o *obs.Observer) *kernelObs {
 		ko.streamChunks = r.Counter(obs.MetricStreamChunks)
 		ko.streamInflight = r.Gauge(obs.GaugeStreamInflight)
 		ko.streamPeakSubgrids = r.Gauge(obs.GaugeStreamPeakSubgrids)
+		ko.retryAttempts = r.Counter(obs.MetricRetryAttempts)
+		ko.retrySeconds, _ = r.Histogram(obs.HistRetryItemSeconds, obs.DurationBuckets)
+		ko.ckptWrites = r.Counter(obs.MetricCheckpointWrites)
+		ko.ckptBytes = r.Counter(obs.MetricCheckpointBytes)
+		ko.ckptRestores = r.Counter(obs.MetricCheckpointRestores)
+		ko.ckptSeconds, _ = r.Histogram(obs.HistCheckpointWriteSeconds, obs.DurationBuckets)
 		ko.stageNs = make(map[obs.Stage]*obs.Counter)
 		for _, s := range []obs.Stage{obs.StageGrid, obs.StageDegrid, obs.StageFFT,
 			obs.StageAdd, obs.StageSplit, obs.StageShard, obs.StageWPlane, obs.StageCycle} {
@@ -140,6 +154,8 @@ func (ko *kernelObs) itemDone(stage obs.Stage, group, worker, i int, item plan.W
 	ko.itemSeconds.Observe(d.Seconds())
 	if attempts > 1 {
 		ko.retries.Inc()
+		ko.retryAttempts.Add(int64(attempts - 1))
+		ko.retrySeconds.Observe(d.Seconds())
 	}
 	ko.span(obs.Span{Stage: stage, Worker: worker, Group: group, Item: i,
 		Tile: -1, Baseline: item.Baseline, Shard: -1, WPlane: item.WPlane,
@@ -282,6 +298,26 @@ func (ko *kernelObs) streamPeak(peak int64) {
 	}
 	ko.streamPeakSubgrids.Set(float64(peak))
 	ko.streamInflight.Set(0)
+}
+
+// checkpointWritten accounts one published checkpoint: its size and
+// the wall time of serialization + sync + rename.
+func (ko *kernelObs) checkpointWritten(bytes int64, start time.Time) {
+	if ko == nil {
+		return
+	}
+	ko.ckptWrites.Inc()
+	ko.ckptBytes.Add(bytes)
+	ko.ckptSeconds.Observe(time.Since(start).Seconds())
+}
+
+// checkpointRestored counts one resumed pass that continued from a
+// restored snapshot.
+func (ko *kernelObs) checkpointRestored() {
+	if ko == nil {
+		return
+	}
+	ko.ckptRestores.Inc()
 }
 
 // countFlagged returns the number of flagged samples inside an item's

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/fft"
 	"repro/internal/grid"
 	"repro/internal/obs"
@@ -88,6 +89,13 @@ const defaultVisBlockFloats = 2048
 // that a handful of in-flight chunks stay far below grid memory.
 const DefaultStreamChunkItems = 256
 
+// DefaultCheckpointEvery is the default checkpoint period, in streamed
+// chunks, when CheckpointDir is set without an explicit period. At the
+// default chunk size that is ~4096 work items of progress per durable
+// snapshot — frequent enough that a crash loses minutes, rare enough
+// that grid serialization stays far below gridding time.
+const DefaultCheckpointEvery = 16
+
 // Params configures the IDG kernels.
 type Params struct {
 	// GridSize is the grid dimension in pixels.
@@ -147,6 +155,22 @@ type Params struct {
 	// StreamChunkItems is the number of work items per streaming chunk;
 	// <= 0 selects DefaultStreamChunkItems.
 	StreamChunkItems int
+	// CheckpointDir, when non-empty, makes the streamed gridding pass
+	// write a durable snapshot (grid + chunk cursor + fault report,
+	// see internal/checkpoint) into this directory every
+	// CheckpointEvery chunks and once more at the end. Setting it
+	// enables the streaming scheduler like GridShards and
+	// MaxInflightChunks do.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint period in streamed chunks;
+	// <= 0 with a CheckpointDir selects DefaultCheckpointEvery.
+	// Setting it without CheckpointDir is a validation error.
+	CheckpointEvery int
+	// CheckpointHook observes the scheduler's durability-critical
+	// points (chunk commit, snapshot write, atomic rename). It is the
+	// crash-injection seam of the kill-and-resume chaos tests — a hook
+	// may panic to simulate a kill; nil in production.
+	CheckpointHook checkpoint.Hook
 	// DisablePixelTiling runs every subgrid as a single whole-subgrid
 	// work unit (no intra-subgrid fan-out; used by the ablation
 	// benchmarks).
@@ -198,6 +222,12 @@ func (p *Params) Validate() error {
 		return fmt.Errorf("core: negative max in-flight chunks %d", p.MaxInflightChunks)
 	case p.StreamChunkItems < 0:
 		return fmt.Errorf("core: negative stream chunk items %d", p.StreamChunkItems)
+	case p.GridShards > p.GridSize:
+		return fmt.Errorf("core: %d grid shards exceed the %d-row grid", p.GridShards, p.GridSize)
+	case p.CheckpointEvery < 0:
+		return fmt.Errorf("core: negative checkpoint period %d", p.CheckpointEvery)
+	case p.CheckpointEvery > 0 && p.CheckpointDir == "":
+		return fmt.Errorf("core: checkpoint period %d set without a checkpoint directory", p.CheckpointEvery)
 	}
 	for i, f := range p.Frequencies {
 		if f <= 0 {
@@ -215,10 +245,23 @@ func (p *Params) workers() int {
 }
 
 // streamingEnabled reports whether the gridding pipelines should route
-// through the sharded streaming scheduler. Either knob opts in; the
-// other then takes its default.
+// through the sharded streaming scheduler. Any of the knobs opts in
+// (checkpointing is only defined for streamed passes: the chunk cursor
+// is its unit of progress); the others then take their defaults.
 func (p *Params) streamingEnabled() bool {
-	return p.GridShards > 0 || p.MaxInflightChunks > 0
+	return p.GridShards > 0 || p.MaxInflightChunks > 0 || p.CheckpointDir != ""
+}
+
+// checkpointEnabled reports whether streamed passes write durable
+// snapshots.
+func (p *Params) checkpointEnabled() bool { return p.CheckpointDir != "" }
+
+// checkpointEvery resolves the checkpoint period in chunks.
+func (p *Params) checkpointEvery() int {
+	if p.CheckpointEvery > 0 {
+		return p.CheckpointEvery
+	}
+	return DefaultCheckpointEvery
 }
 
 // gridShards resolves the shard count: the configured value, or one
@@ -246,6 +289,12 @@ func (p *Params) chunkItems() int {
 	}
 	return DefaultStreamChunkItems
 }
+
+// StreamChunkItemsResolved returns the effective streaming chunk size
+// (the configured value or its default). Resume validation compares it
+// against a checkpoint's recorded chunk size: the chunk cursor is only
+// meaningful relative to the chunking it was counted in.
+func (k *Kernels) StreamChunkItemsResolved() int { return k.params.chunkItems() }
 
 // Kernels holds the precomputed state shared by all kernel
 // invocations: per-pixel direction cosines, the taper map, wavenumber

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/aterm"
+	"repro/internal/checkpoint"
 	"repro/internal/faulttol"
 	"repro/internal/grid"
 	"repro/internal/obs"
@@ -64,21 +65,66 @@ func (a *streamAccounting) release(subgrids int) (inflight int64) {
 // result is bit-for-bit identical to the serial batch pipeline;
 // otherwise it differs only by floating-point reassociation.
 //
+// With Params.CheckpointDir set the stream is processed in epochs of
+// Params.CheckpointEvery chunks; at each epoch boundary the scheduler
+// quiesces and writes a durable snapshot (grid, chunk cursor, fault
+// counters — see internal/checkpoint), including a final one at the
+// end of the plan. ResumeVisibilitiesStreamed continues from such a
+// snapshot and its result is bit-identical to the uninterrupted run
+// under the same ordering guarantees as above.
+//
+// On cancellation the error matches both faulttol.ErrCanceled and the
+// context's cause, even when the cancellation surfaced inside a retry
+// loop. The grid then holds exactly the chunks whose add stage
+// completed before the cancellation — every value finite and correct,
+// but only a prefix-plus-stragglers subset of the plan — so a partial
+// grid is useful for checkpointing but not as an image.
+//
 // GridVisibilitiesFT routes here automatically when
-// Params.GridShards or Params.MaxInflightChunks opt in.
+// Params.GridShards, Params.MaxInflightChunks or Params.CheckpointDir
+// opt in.
 func (k *Kernels) GridVisibilitiesStreamed(ctx context.Context, p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, sh *grid.Sharded, ft faulttol.Config) (StageTimes, *faulttol.Report, error) {
-	var times StageTimes
 	rep := faulttol.NewReport(ft)
+	times, err := k.gridStreamed(ctx, p, vs, prov, sh, ft, rep, 0)
+	return times, rep, err
+}
+
+// ResumeVisibilitiesStreamed continues a streamed gridding pass whose
+// chunks [0, startChunk) are already accumulated onto sh — restored
+// from a checkpoint — processing only the remaining chunks. rep
+// carries the restored fault counters forward (nil allocates a fresh
+// report). The chunking must match the interrupted run
+// (StreamChunkItemsResolved); with the bit-reproducible settings
+// (Workers <= 1, one shard) the resumed grid is bit-identical to an
+// uninterrupted pass.
+func (k *Kernels) ResumeVisibilitiesStreamed(ctx context.Context, p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, sh *grid.Sharded, ft faulttol.Config, rep *faulttol.Report, startChunk int) (StageTimes, error) {
+	if rep == nil {
+		rep = faulttol.NewReport(ft)
+	}
+	if startChunk > 0 {
+		k.ob.checkpointRestored()
+	}
+	return k.gridStreamed(ctx, p, vs, prov, sh, ft, rep, startChunk)
+}
+
+// gridStreamed is the scheduler shared by fresh and resumed streamed
+// passes: it processes chunks [startChunk, len) in checkpoint epochs.
+func (k *Kernels) gridStreamed(ctx context.Context, p *plan.Plan, vs *VisibilitySet, prov aterm.Provider, sh *grid.Sharded, ft faulttol.Config, rep *faulttol.Report, startChunk int) (StageTimes, error) {
+	var times StageTimes
 	if err := k.checkPlan(p, vs); err != nil {
-		return times, rep, err
+		return times, err
 	}
 	if sh.Master().N != k.params.GridSize {
-		return times, rep, fmt.Errorf("core: sharded grid size %d != kernel grid size %d",
+		return times, fmt.Errorf("core: sharded grid size %d != kernel grid size %d",
 			sh.Master().N, k.params.GridSize)
 	}
 	chunks := p.StreamChunks(k.params.chunkItems())
-	if len(chunks) == 0 {
-		return times, rep, ctxErr(ctx)
+	if startChunk < 0 || startChunk > len(chunks) {
+		return times, fmt.Errorf("core: resume cursor %d outside the plan's %d chunks", startChunk, len(chunks))
+	}
+	if startChunk == len(chunks) {
+		// Nothing left to grid (also covers an empty plan).
+		return times, ctxErr(ctx)
 	}
 	// The A-term cache is not write-safe concurrently: warm it for the
 	// whole plan up front, so every worker Get is a read-only hit.
@@ -89,14 +135,15 @@ func (k *Kernels) GridVisibilitiesStreamed(ctx context.Context, p *plan.Plan, vs
 	if m := k.params.maxInflight(); workers > m {
 		workers = m
 	}
-	if workers > len(chunks) {
-		workers = len(chunks)
+	if workers > len(chunks)-startChunk {
+		workers = len(chunks) - startChunk
 	}
 	if workers < 1 {
 		workers = 1
 	}
 
 	attempts := ft.Attempts()
+	budget := faulttol.NewBackoffBudget(ft)
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var mu sync.Mutex
@@ -170,6 +217,13 @@ func (k *Kernels) GridVisibilitiesStreamed(ctx context.Context, p *plan.Plan, vs
 				if errors.Is(err, faulttol.ErrBadInput) || runCtx.Err() != nil {
 					break
 				}
+				// Deterministic exponential backoff before the next
+				// attempt, metered against the run's retry budget:
+				// when the budget is spent (or the run is canceled)
+				// the item takes its terminal path now.
+				if a < attempts && !budget.Sleep(runCtx, ft.BackoffDelay(a+1)) {
+					break
+				}
 			}
 			if err != nil {
 				// Failed items leave a poisoned subgrid behind; drop it
@@ -189,6 +243,12 @@ func (k *Kernels) GridVisibilitiesStreamed(ctx context.Context, p *plan.Plan, vs
 					rep.RecordSkip(ie, int64(item.NrVisibilities()))
 					k.ob.itemSkipped(item)
 					continue
+				}
+				if ctx.Err() != nil {
+					// The caller canceled the run; the item failure is
+					// a casualty of the cancellation, not its cause —
+					// report ErrCanceled, not the item error.
+					return
 				}
 				fail(ie)
 				return
@@ -226,49 +286,134 @@ func (k *Kernels) GridVisibilitiesStreamed(ctx context.Context, p *plan.Plan, vs
 		k.ob.stageDone(obs.StageAdd, c.Index, wp, at0, d)
 	}
 
+	// Chunks are dispatched in checkpoint epochs: all chunks of
+	// [lo, hi) complete (a quiescent barrier), then the snapshot
+	// covering [0, hi) is written. Epoch boundaries are aligned to
+	// multiples of the period from chunk 0, so a resumed run
+	// checkpoints at the same cursors as an uninterrupted one. Without
+	// checkpointing there is a single epoch and no barrier.
+	ckptEvery := 0
+	if k.params.checkpointEnabled() {
+		ckptEvery = k.params.checkpointEvery()
+	}
+	epochEnd := func(lo int) int {
+		if ckptEvery <= 0 {
+			return len(chunks)
+		}
+		hi := (lo/ckptEvery + 1) * ckptEvery
+		if hi > len(chunks) {
+			hi = len(chunks)
+		}
+		return hi
+	}
+
+	var ckptErr error
 	if workers == 1 {
 		// Serial dispatch in chunk order: with one shard this is the
-		// bit-for-bit reference ordering.
+		// bit-for-bit reference ordering. Checkpoint events fire on
+		// this goroutine, so an injected crash unwinds the whole pass.
 		s := k.getScratch()
 		subgrids := make([]*grid.Subgrid, k.params.chunkItems())
-		for _, c := range chunks {
-			if runCtx.Err() != nil {
-				break
+		for lo := startChunk; lo < len(chunks) && ckptErr == nil && runCtx.Err() == nil; {
+			hi := epochEnd(lo)
+			for ci := lo; ci < hi; ci++ {
+				if runCtx.Err() != nil {
+					break
+				}
+				c := chunks[ci]
+				runChunk(0, c, s, subgrids[:len(c.Items)])
+				if runCtx.Err() == nil {
+					k.fireCheckpointHook(checkpoint.EventChunkCommitted, c.Index)
+				}
 			}
-			runChunk(0, c, s, subgrids[:len(c.Items)])
+			if ckptEvery > 0 && runCtx.Err() == nil {
+				ckptErr = k.writeStreamCheckpoint(p, sh, hi, rep)
+			}
+			lo = hi
 		}
 		k.putScratch(s)
 	} else {
-		var wg sync.WaitGroup
-		var next atomic.Int64
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(worker int) {
-				defer wg.Done()
-				s := k.getScratch()
-				defer k.putScratch(s)
-				subgrids := make([]*grid.Subgrid, k.params.chunkItems())
-				for runCtx.Err() == nil {
-					ci := int(next.Add(1)) - 1
-					if ci >= len(chunks) {
-						return
+		for lo := startChunk; lo < len(chunks) && ckptErr == nil && runCtx.Err() == nil; {
+			hi := epochEnd(lo)
+			var wg sync.WaitGroup
+			var next atomic.Int64
+			next.Store(int64(lo))
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					s := k.getScratch()
+					defer k.putScratch(s)
+					subgrids := make([]*grid.Subgrid, k.params.chunkItems())
+					for runCtx.Err() == nil {
+						ci := int(next.Add(1)) - 1
+						if ci >= hi {
+							return
+						}
+						c := chunks[ci]
+						runChunk(worker, c, s, subgrids[:len(c.Items)])
 					}
-					c := chunks[ci]
-					runChunk(worker, c, s, subgrids[:len(c.Items)])
-				}
-			}(w)
+				}(w)
+			}
+			wg.Wait()
+			// Concurrent workers commit chunks out of order, so the
+			// per-chunk EventChunkCommitted is not fired here; the
+			// epoch barrier is the only consistent point.
+			if ckptEvery > 0 && runCtx.Err() == nil {
+				ckptErr = k.writeStreamCheckpoint(p, sh, hi, rep)
+			}
+			lo = hi
 		}
-		wg.Wait()
 	}
 
 	k.ob.streamPeak(acct.peakSubgrids.Load())
 	times.Gridder = time.Duration(gridNs.Load())
 	times.SubgridFFT = time.Duration(fftNs.Load())
 	times.Adder = time.Duration(addNs.Load())
-	if firstErr != nil {
-		return times, rep, firstErr
+	if budget.Exhausted() {
+		rep.AddNote("faulttol: retry backoff budget exhausted; remaining failures were not retried")
 	}
-	return times, rep, ctxErr(ctx)
+	if firstErr != nil {
+		return times, firstErr
+	}
+	if ckptErr != nil {
+		return times, ckptErr
+	}
+	return times, ctxErr(ctx)
+}
+
+// fireCheckpointHook invokes the crash-injection hook at a checkpoint
+// protocol point; chunk is the last committed chunk index (-1 if
+// none). The hook may panic by design — the simulated kill must
+// unwind the pass, so nothing here recovers.
+func (k *Kernels) fireCheckpointHook(ev checkpoint.Event, chunk int) {
+	if h := k.params.CheckpointHook; h != nil {
+		h(ev, chunk)
+	}
+}
+
+// writeStreamCheckpoint durably snapshots the pass at a quiescent
+// epoch barrier: chunks [0, cursor) are fully accumulated onto sh and
+// no worker is in flight.
+func (k *Kernels) writeStreamCheckpoint(p *plan.Plan, sh *grid.Sharded, cursor int, rep *faulttol.Report) error {
+	k.fireCheckpointHook(checkpoint.EventBeforeWrite, cursor-1)
+	t0 := time.Now()
+	sn := &checkpoint.Snapshot{
+		GridSize:   k.params.GridSize,
+		Shards:     sh.NumShards(),
+		NextChunk:  cursor,
+		ChunkItems: k.params.chunkItems(),
+		PlanSum:    checkpoint.PlanFingerprint(p),
+		Report:     rep.State(),
+		Grid:       sh.Master(),
+	}
+	_, bytes, err := checkpoint.Write(k.params.CheckpointDir, sn, k.params.CheckpointHook)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint at chunk cursor %d: %w", cursor, err)
+	}
+	k.ob.checkpointWritten(bytes, t0)
+	k.fireCheckpointHook(checkpoint.EventAfterWrite, cursor-1)
+	return nil
 }
 
 // PeakInflightSubgrids returns the high-water mark the latest streamed

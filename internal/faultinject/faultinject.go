@@ -8,9 +8,12 @@
 package faultinject
 
 import (
+	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/faulttol"
 	"repro/internal/plan"
@@ -119,6 +122,44 @@ func Chain(hooks ...faulttol.Hook) faulttol.Hook {
 	return func(item plan.WorkItem, attempt int) {
 		for _, h := range hooks {
 			h(item, attempt)
+		}
+	}
+}
+
+// Kill is the panic value thrown by CrashHook to simulate the process
+// dying at a checkpoint-protocol point: unlike an injected kernel
+// panic it is thrown outside the faulttol recovery scope, so it
+// unwinds the whole streamed pass exactly like a kill -9 would end it
+// (modulo deferred cleanup). Chaos tests recover it at the top and
+// then exercise the resume path.
+type Kill struct {
+	// Event is the checkpoint-protocol point the crash fired at.
+	Event checkpoint.Event
+	// Chunk is the last committed chunk index at the crash (-1 if
+	// none).
+	Chunk int
+}
+
+// String describes the simulated crash.
+func (k Kill) String() string {
+	return fmt.Sprintf("faultinject: simulated kill at %s (chunk %d)", k.Event, k.Chunk)
+}
+
+// CrashHook returns a checkpoint.Hook that panics with a Kill at the
+// first occurrence of event ev with a committed-chunk index >=
+// atChunk (use atChunk < 0 for the first occurrence of ev at all).
+// The hook fires at most once, so a resumed run that installs the
+// same hook value is not re-killed. Crash points are deterministic:
+// the scheduler fires checkpoint events from its coordinating
+// goroutine in chunk order.
+func CrashHook(ev checkpoint.Event, atChunk int) checkpoint.Hook {
+	var fired atomic.Bool
+	return func(e checkpoint.Event, chunk int) {
+		if e != ev || chunk < atChunk {
+			return
+		}
+		if fired.CompareAndSwap(false, true) {
+			panic(Kill{Event: e, Chunk: chunk})
 		}
 	}
 }

@@ -1,0 +1,114 @@
+package faulttol
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelay(t *testing.T) {
+	c := Config{RetryBackoff: 10 * time.Millisecond}
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 0}, // not an attempt number Run would produce
+		{1, 0}, // first attempt never waits
+		{2, 10 * time.Millisecond},
+		{3, 20 * time.Millisecond},
+		{4, 40 * time.Millisecond},
+		{5, 80 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := c.BackoffDelay(tc.attempt); got != tc.want {
+			t.Errorf("BackoffDelay(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+	if got := (Config{}).BackoffDelay(3); got != 0 {
+		t.Errorf("zero config BackoffDelay = %v, want 0", got)
+	}
+	// The shift is capped so huge attempt numbers cannot overflow into
+	// a negative or absurd delay.
+	huge := Config{RetryBackoff: time.Nanosecond}.BackoffDelay(1000)
+	if huge <= 0 || huge > time.Nanosecond<<20 {
+		t.Errorf("capped delay = %v", huge)
+	}
+}
+
+func TestBackoffBudgetUnlimited(t *testing.T) {
+	b := NewBackoffBudget(Config{RetryBackoff: time.Nanosecond})
+	for i := 0; i < 100; i++ {
+		if !b.Sleep(context.Background(), time.Nanosecond) {
+			t.Fatal("unlimited budget refused a sleep")
+		}
+	}
+	if b.Exhausted() {
+		t.Fatal("unlimited budget reported exhausted")
+	}
+}
+
+func TestBackoffBudgetExhaustion(t *testing.T) {
+	c := Config{RetryBackoff: time.Millisecond, RetryBudget: 2 * time.Millisecond}
+	b := NewBackoffBudget(c)
+	ctx := context.Background()
+	// 1ms + 1ms drain the budget exactly; the third sleep finds nothing
+	// left and is refused.
+	if !b.Sleep(ctx, time.Millisecond) || !b.Sleep(ctx, time.Millisecond) {
+		t.Fatal("budget refused sleeps it could afford")
+	}
+	if b.Exhausted() {
+		t.Fatal("exhausted too early")
+	}
+	if b.Sleep(ctx, time.Millisecond) {
+		t.Fatal("budget allowed a sleep past exhaustion")
+	}
+	if !b.Exhausted() {
+		t.Fatal("Exhausted() false after a refused sleep")
+	}
+	// Zero-length sleeps stay free even when the budget is gone.
+	if !b.Sleep(ctx, 0) {
+		t.Fatal("zero-length sleep charged against the budget")
+	}
+}
+
+func TestBackoffBudgetCanceledContext(t *testing.T) {
+	b := NewBackoffBudget(Config{RetryBackoff: time.Millisecond, RetryBudget: time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if b.Sleep(ctx, time.Millisecond) {
+		t.Fatal("sleep succeeded on a canceled context")
+	}
+	if b.Exhausted() {
+		t.Fatal("cancellation must not mark the budget exhausted")
+	}
+}
+
+func TestReportStateRoundTrip(t *testing.T) {
+	rep := NewReport(Config{Policy: SkipAndFlag})
+	rep.ItemsProcessed = 7
+	rep.ItemsRetried = 2
+	rep.ItemsSkipped = 1
+	rep.DroppedVisibilities = 640
+
+	st := rep.State()
+	restored := NewReport(Config{Policy: SkipAndFlag})
+	restored.RestoreState(st)
+	if restored.ItemsProcessed != 7 || restored.ItemsRetried != 2 ||
+		restored.ItemsSkipped != 1 || restored.DroppedVisibilities != 640 {
+		t.Fatalf("restored report %+v", restored)
+	}
+}
+
+func TestReportNotes(t *testing.T) {
+	rep := NewReport(Config{})
+	rep.AddNote("checkpoint: fell back one snapshot")
+	if rep.Degraded() {
+		t.Fatal("a note alone must not mark the run degraded")
+	}
+	other := NewReport(Config{})
+	other.AddNote("faulttol: retry backoff budget exhausted; remaining failures were not retried")
+	rep.Merge(other)
+	if len(rep.Notes) != 2 {
+		t.Fatalf("merged notes = %v", rep.Notes)
+	}
+}

@@ -10,9 +10,12 @@
 package faulttol
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/plan"
 )
@@ -93,6 +96,17 @@ type Config struct {
 	// Hook, when non-nil, runs before every item attempt inside the
 	// recovery scope. Used by fault injection; nil in production.
 	Hook Hook
+	// RetryBackoff is the base delay before the first re-attempt of a
+	// failed item; each further re-attempt doubles it (deterministic
+	// exponential backoff, no jitter — reproducibility beats
+	// thundering-herd avoidance in a single-process pipeline). 0
+	// retries immediately (the pre-backoff behavior).
+	RetryBackoff time.Duration
+	// RetryBudget caps the total time one pipeline run may spend in
+	// backoff sleeps across all items and workers. Once spent, failed
+	// items stop retrying and take their policy's terminal path
+	// (abort or skip). 0 means no cap.
+	RetryBudget time.Duration
 }
 
 // Attempts returns the total attempts the config grants one item.
@@ -105,6 +119,77 @@ func (c Config) Attempts() int {
 	}
 	return 1
 }
+
+// BackoffDelay returns the deterministic exponential backoff before
+// the given 1-based attempt: RetryBackoff before attempt 2, doubling
+// for each later attempt, 0 when backoff is disabled or for the first
+// attempt.
+func (c Config) BackoffDelay(attempt int) time.Duration {
+	if c.RetryBackoff <= 0 || attempt < 2 {
+		return 0
+	}
+	shift := attempt - 2
+	if shift > 20 { // cap the doubling; beyond ~1e6x the budget rules anyway
+		shift = 20
+	}
+	return c.RetryBackoff << shift
+}
+
+// BackoffBudget meters the total backoff time of one pipeline run
+// against Config.RetryBudget. Safe for concurrent use by the worker
+// pool: the budget is a shared atomic, so however chunks are
+// scheduled, the run never sleeps more than RetryBudget in aggregate.
+type BackoffBudget struct {
+	unlimited bool
+	remaining atomic.Int64 // nanoseconds
+	exhausted atomic.Bool
+}
+
+// NewBackoffBudget builds the run-level budget for a config.
+func NewBackoffBudget(c Config) *BackoffBudget {
+	b := &BackoffBudget{unlimited: c.RetryBudget <= 0}
+	b.remaining.Store(c.RetryBudget.Nanoseconds())
+	return b
+}
+
+// Sleep blocks for the backoff delay d and reports whether the
+// retry should proceed. It returns false — without sleeping the full
+// d — when the run budget is already spent or ctx is done, so callers
+// stop retrying the moment patience runs out. A zero d is free and
+// always proceeds.
+func (b *BackoffBudget) Sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	if ctx.Err() != nil {
+		return false
+	}
+	sleep := d
+	if !b.unlimited {
+		// Deduct the full delay deterministically; sleep only what was
+		// actually left so the run never overshoots the budget.
+		left := b.remaining.Add(-d.Nanoseconds()) + d.Nanoseconds()
+		if left <= 0 {
+			b.exhausted.Store(true)
+			return false
+		}
+		if left < sleep.Nanoseconds() {
+			sleep = time.Duration(left)
+		}
+	}
+	t := time.NewTimer(sleep)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// Exhausted reports whether any Sleep was refused because the budget
+// ran out.
+func (b *BackoffBudget) Exhausted() bool { return b.exhausted.Load() }
 
 // ItemError is the typed per-work-item failure: which visibility block
 // failed, how often it was attempted, and the underlying cause.
@@ -171,6 +256,10 @@ type Report struct {
 	DroppedVisibilities int64
 	// ItemErrors samples up to MaxErrors skipped-item failures.
 	ItemErrors []*ItemError
+	// Notes records run-level degradation events that are not tied to
+	// one work item: checkpoint fallbacks, clean restarts, retry-budget
+	// exhaustion. Notes never affect Degraded().
+	Notes []string
 }
 
 // NewReport allocates a report for the given config.
@@ -203,6 +292,47 @@ func (r *Report) RecordSkip(e *ItemError, droppedVis int64) {
 	r.mu.Unlock()
 }
 
+// AddNote appends a run-level degradation note.
+func (r *Report) AddNote(note string) {
+	r.mu.Lock()
+	r.Notes = append(r.Notes, note)
+	r.mu.Unlock()
+}
+
+// ReportState is the serializable core of a Report: the exact counts,
+// without the bounded error sample or notes. Checkpoints persist it so
+// a resumed run's report continues from the interrupted run's counts.
+type ReportState struct {
+	ItemsProcessed      int
+	ItemsRetried        int
+	ItemsSkipped        int
+	DroppedVisibilities int64
+}
+
+// State snapshots the report's counts.
+func (r *Report) State() ReportState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReportState{
+		ItemsProcessed:      r.ItemsProcessed,
+		ItemsRetried:        r.ItemsRetried,
+		ItemsSkipped:        r.ItemsSkipped,
+		DroppedVisibilities: r.DroppedVisibilities,
+	}
+}
+
+// RestoreState overwrites the report's counts with a checkpointed
+// state (the sampled ItemErrors of the interrupted run are not
+// persisted and stay empty).
+func (r *Report) RestoreState(st ReportState) {
+	r.mu.Lock()
+	r.ItemsProcessed = st.ItemsProcessed
+	r.ItemsRetried = st.ItemsRetried
+	r.ItemsSkipped = st.ItemsSkipped
+	r.DroppedVisibilities = st.DroppedVisibilities
+	r.mu.Unlock()
+}
+
 // Merge folds other into r (used when a run spans several pipeline
 // invocations, e.g. W-stacking layers or major cycles).
 func (r *Report) Merge(other *Report) {
@@ -221,6 +351,7 @@ func (r *Report) Merge(other *Report) {
 		}
 		r.ItemErrors = append(r.ItemErrors, e)
 	}
+	r.Notes = append(r.Notes, other.Notes...)
 }
 
 // Degraded reports whether any work was dropped.

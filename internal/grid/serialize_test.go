@@ -1,0 +1,87 @@
+package grid
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// fillDistinct gives every (correlation, pixel) a unique value,
+// including a few awkward float64 bit patterns that must survive the
+// round trip exactly.
+func fillDistinct(g *Grid) {
+	for c := range g.Data {
+		for i := range g.Data[c] {
+			g.Data[c][i] = complex(float64(c)*1e6+float64(i)+0.125, -float64(i)*0.25)
+		}
+	}
+	g.Data[0][0] = complex(math.Copysign(0, -1), math.SmallestNonzeroFloat64)
+	g.Data[1][1] = complex(math.MaxFloat64, -math.MaxFloat64)
+}
+
+func TestBandRoundTrip(t *testing.T) {
+	const n = 12
+	for _, shards := range []int{1, 3, n} {
+		src := NewGrid(n)
+		fillDistinct(src)
+		srcSh := NewSharded(src, shards)
+
+		dst := NewGrid(n)
+		dstSh := NewSharded(dst, shards)
+
+		for i := 0; i < srcSh.NumShards(); i++ {
+			var buf bytes.Buffer
+			if err := srcSh.WriteBand(&buf, i); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() != srcSh.BandBytes(i) {
+				t.Fatalf("shards=%d band %d: wrote %d bytes, BandBytes says %d",
+					shards, i, buf.Len(), srcSh.BandBytes(i))
+			}
+			if err := dstSh.ReadBand(&buf, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for c := range src.Data {
+			for i := range src.Data[c] {
+				want, got := src.Data[c][i], dst.Data[c][i]
+				// Compare bit patterns: -0 vs +0 and NaN payloads must
+				// survive, not just numeric equality.
+				if math.Float64bits(real(want)) != math.Float64bits(real(got)) ||
+					math.Float64bits(imag(want)) != math.Float64bits(imag(got)) {
+					t.Fatalf("shards=%d: value [%d][%d] = %v, want %v", shards, c, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBandBytesSumCoversGrid(t *testing.T) {
+	const n = 10
+	sh := NewSharded(NewGrid(n), 3)
+	total := 0
+	for i := 0; i < sh.NumShards(); i++ {
+		total += sh.BandBytes(i)
+	}
+	if want := NrCorrelations * n * n * 16; total != want {
+		t.Fatalf("bands cover %d bytes, grid is %d", total, want)
+	}
+}
+
+func TestReadBandShortInput(t *testing.T) {
+	sh := NewSharded(NewGrid(8), 2)
+	full := &bytes.Buffer{}
+	if err := sh.WriteBand(full, 0); err != nil {
+		t.Fatal(err)
+	}
+	short := bytes.NewReader(full.Bytes()[:full.Len()/2])
+	err := NewSharded(NewGrid(8), 2).ReadBand(short, 0)
+	if err == nil {
+		t.Fatal("short read accepted")
+	}
+	if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("short read error %v does not wrap EOF", err)
+	}
+}

@@ -117,6 +117,27 @@ const (
 	GaugeResidualPeak = "cycle_residual_peak"
 	// HistItemSeconds is the per-work-item wall time distribution.
 	HistItemSeconds = "pipeline_item_seconds"
+	// MetricRetryAttempts counts the extra (beyond-first) attempts
+	// consumed by work items that eventually succeeded. Together with
+	// MetricItemRetries (items that needed retries at all) it shows
+	// how hard the retry policy is working: attempts/items is the mean
+	// retry depth of a degraded run.
+	MetricRetryAttempts = "pipeline_retry_attempts_total"
+	// HistRetryItemSeconds is the wall-time distribution of work items
+	// that needed more than one attempt — retry latency including the
+	// failed attempts and any backoff sleeps.
+	HistRetryItemSeconds = "pipeline_retry_item_seconds"
+	// MetricCheckpointWrites counts durable streaming checkpoints
+	// published (temp file synced and renamed into place).
+	MetricCheckpointWrites = "checkpoint_writes_total"
+	// MetricCheckpointBytes sums the sizes of published checkpoints.
+	MetricCheckpointBytes = "checkpoint_bytes_total"
+	// MetricCheckpointRestores counts resumed passes that continued
+	// from a restored snapshot (clean restarts don't count).
+	MetricCheckpointRestores = "checkpoint_restores_total"
+	// HistCheckpointWriteSeconds is the distribution of checkpoint
+	// write durations (serialization + fsync + rename).
+	HistCheckpointWriteSeconds = "checkpoint_write_seconds"
 )
 
 // StageNsMetric returns the name of the cumulative wall-clock counter

@@ -16,6 +16,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/aterm"
@@ -143,6 +144,15 @@ type ObservationConfig struct {
 	// chunks — and with it peak subgrid memory (see
 	// Params.MaxInflightChunks).
 	MaxInflightChunks int
+	// CheckpointDir, when non-empty, makes streamed gridding passes
+	// write durable snapshots into this directory and enables
+	// Observation.ResumeStreamed; setting it routes gridding through
+	// the streaming scheduler (see Params.CheckpointDir).
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint period in streamed chunks
+	// (0 with a CheckpointDir: a default period; setting it without
+	// CheckpointDir fails validation).
+	CheckpointEvery int
 	// Observer receives pipeline metrics and trace spans (see
 	// Params.Observer); nil disables observation.
 	Observer *Observer
@@ -190,17 +200,51 @@ func PaperObservation() ObservationConfig {
 	}
 }
 
+// ErrInvalidConfig marks every ObservationConfig validation failure;
+// match it with errors.Is. The concrete error is a *ConfigError
+// naming the offending field.
+var ErrInvalidConfig = errors.New("repro: invalid observation config")
+
+// ConfigError is a typed configuration rejection: which field is
+// wrong and why. It unwraps to ErrInvalidConfig. The facade returns
+// it for negative or nonsensical knobs instead of silently clamping
+// them deep in the scheduler.
+type ConfigError struct {
+	// Field is the ObservationConfig field name.
+	Field string
+	// Reason explains the rejection.
+	Reason string
+}
+
+// Error formats the rejection.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("repro: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Unwrap makes every ConfigError match ErrInvalidConfig.
+func (e *ConfigError) Unwrap() error { return ErrInvalidConfig }
+
 // Validate checks the configuration.
 func (c *ObservationConfig) Validate() error {
 	switch {
 	case c.NrStations < 2:
-		return fmt.Errorf("repro: need >= 2 stations, got %d", c.NrStations)
+		return &ConfigError{Field: "NrStations", Reason: fmt.Sprintf("need >= 2 stations, got %d", c.NrStations)}
 	case c.NrTimesteps < 1 || c.NrChannels < 1:
-		return fmt.Errorf("repro: empty observation %dx%d", c.NrTimesteps, c.NrChannels)
+		return &ConfigError{Field: "NrTimesteps", Reason: fmt.Sprintf("empty observation %dx%d", c.NrTimesteps, c.NrChannels)}
 	case c.StartFrequency <= 0 || c.ChannelWidth < 0:
-		return fmt.Errorf("repro: bad subband %g/%g", c.StartFrequency, c.ChannelWidth)
+		return &ConfigError{Field: "StartFrequency", Reason: fmt.Sprintf("bad subband %g/%g", c.StartFrequency, c.ChannelWidth)}
 	case c.GridMargin < 0 || c.GridMargin >= c.GridSize/2:
-		return fmt.Errorf("repro: bad grid margin %d", c.GridMargin)
+		return &ConfigError{Field: "GridMargin", Reason: fmt.Sprintf("bad grid margin %d", c.GridMargin)}
+	case c.GridShards < 0:
+		return &ConfigError{Field: "GridShards", Reason: fmt.Sprintf("negative shard count %d", c.GridShards)}
+	case c.GridShards > c.GridSize:
+		return &ConfigError{Field: "GridShards", Reason: fmt.Sprintf("%d shards exceed the %d-row grid", c.GridShards, c.GridSize)}
+	case c.MaxInflightChunks < 0:
+		return &ConfigError{Field: "MaxInflightChunks", Reason: fmt.Sprintf("negative in-flight bound %d", c.MaxInflightChunks)}
+	case c.CheckpointEvery < 0:
+		return &ConfigError{Field: "CheckpointEvery", Reason: fmt.Sprintf("negative checkpoint period %d", c.CheckpointEvery)}
+	case c.CheckpointEvery > 0 && c.CheckpointDir == "":
+		return &ConfigError{Field: "CheckpointEvery", Reason: "set without CheckpointDir"}
 	}
 	return nil
 }
@@ -279,6 +323,8 @@ func (c ObservationConfig) BuildPlan() (*Observation, error) {
 		Precision:         c.Precision,
 		GridShards:        c.GridShards,
 		MaxInflightChunks: c.MaxInflightChunks,
+		CheckpointDir:     c.CheckpointDir,
+		CheckpointEvery:   c.CheckpointEvery,
 		Observer:          c.Observer,
 	})
 	if err != nil {

@@ -12,10 +12,14 @@ go build ./...
 # Fast-fail race pass over the concurrency-heavy packages (pipelines,
 # fault tolerance, the lock-free metrics/tracer) in short mode before
 # paying for the full raced suite below.
-go test -race -short ./internal/core/... ./internal/faulttol/... ./internal/obs/...
+go test -race -short ./internal/core/... ./internal/faulttol/... ./internal/obs/... ./internal/checkpoint/...
 go test -race ./...
 go test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
-go test -race -run 'Facade|Chaos|Cancel|Shard|Soak|Streamed' . ./internal/core/
+# Kill-and-resume chaos harness and the checkpoint round-trip golden
+# test run raced here: the crash hooks panic on the scheduler's
+# coordinating goroutine and the resumed grid must still hash to the
+# committed golden fingerprint.
+go test -race -run 'Facade|Chaos|Cancel|Shard|Soak|Streamed|Checkpoint|Resume|Kill' . ./internal/core/ ./internal/checkpoint/
 scripts/bench.sh -short
 
 # Performance regression gate: briefly re-measure the two kernel
