@@ -10,7 +10,9 @@
 // gate: benchmarks present in both are compared by visibility
 // throughput (falling back to 1/ns_per_op when either side lacks the
 // MVis/s metric), and any slowdown beyond -threshold percent fails the
-// run. A benchmark recorded in the old report but absent from the new
+// run. When the new report holds several runs of the same benchmark
+// (go test -count N), the best run gates — repeated-run minima measure
+// scheduling noise, not the code under test. A benchmark recorded in the old report but absent from the new
 // one also fails the gate — a silently vanished benchmark usually
 // means a renamed or deleted test, not an intentional retirement —
 // unless -allow-missing is given (for subset runs that deliberately
@@ -202,9 +204,21 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64, allowMi
 	if err != nil {
 		return false, err
 	}
+	// Duplicate names in the new report (a -count N re-measure) gate on
+	// their best run: regression thresholds compare against sustained
+	// capability, and the minimum over repeated runs is dominated by
+	// scheduling noise rather than by the code under test.
 	newByName := make(map[string]*Benchmark, len(newRep.Benchmarks))
 	for i := range newRep.Benchmarks {
-		newByName[newRep.Benchmarks[i].Name] = &newRep.Benchmarks[i]
+		nb := &newRep.Benchmarks[i]
+		if prev, ok := newByName[nb.Name]; ok {
+			pt, _ := throughput(prev)
+			nt, _ := throughput(nb)
+			if nt <= pt {
+				continue
+			}
+		}
+		newByName[nb.Name] = nb
 	}
 	ok := true
 	compared := 0

@@ -102,6 +102,33 @@ func TestCompareRegressionFails(t *testing.T) {
 	}
 }
 
+// A -count N re-measure produces duplicate names in the new report;
+// the gate must judge the best run, so one noisy-slow sample among
+// good ones cannot fail CI (and the duplicates must not warn as
+// "only in new").
+func TestCompareDuplicatesGateOnBestRun(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkGridderKernel-8", 0.30),
+	}})
+	newP := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkGridderKernel-8", 0.20), // -33%: noise
+		visBench("BenchmarkGridderKernel-8", 0.31), // best run: fine
+		visBench("BenchmarkGridderKernel-8", 0.26),
+	}})
+	var sb strings.Builder
+	ok, err := runCompare(&sb, oldP, newP, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("best duplicate run within threshold still failed:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "only in") {
+		t.Fatalf("duplicate runs reported as new benchmarks:\n%s", sb.String())
+	}
+}
+
 // A baseline benchmark that vanished from the new report fails the
 // gate with an actionable message: a silently shrinking benchmark set
 // would let a deleted or renamed benchmark dodge the regression check.

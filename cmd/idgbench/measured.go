@@ -112,6 +112,9 @@ func runMeasured(scale float64) {
 		gridMVis, 100*gridMVis/modelGrid, host.Name, modelGrid)
 	fmt.Printf("degridding : %6.1f MVis/s (%.0f%% of the %s roofline, %.1f MVis/s)\n",
 		degridMVis, 100*degridMVis/modelDegrid, host.Name, modelDegrid)
+	// The dispatch actually measured: roofline percentages are only
+	// interpretable next to the kernel code path that produced them.
+	fmt.Println(obs.Kernels.SIMDInfo())
 	frac := (gridTimes.Gridder + degridTimes.Degridder).Seconds() / cycle.Total().Seconds()
 	fmt.Printf("gridder+degridder share: %.1f%% (paper: >93%%)\n", 100*frac)
 

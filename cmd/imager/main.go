@@ -104,6 +104,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Log the resolved kernel dispatch once at startup when measuring:
+	// metric numbers are only interpretable next to the SIMD tier and
+	// sincos evaluator that produced them.
+	if *metrics {
+		fmt.Println(obs.Kernels.SIMDInfo())
+	}
 	n := cfg.GridSize
 	pix := obs.ImageSize / float64(n)
 

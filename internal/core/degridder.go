@@ -35,15 +35,24 @@ func (k *Kernels) degridSubgridScratch(item plan.WorkItem, in *grid.Subgrid, uvw
 		return
 	}
 	if k.params.Precision == Float32 {
-		if k.ob.enabled() {
-			k.ob.kernelPath(k.ob.pathTiled32)
+		tile := degridTile[float32]
+		vec := k.disp.degridVec32 != nil
+		if vec {
+			tile = k.disp.degridVec32
 		}
-		degridSubgridTiled(k, item, in, uvw, atermP, atermQ, vis, s, par, degridTile[float32])
+		if k.ob.enabled() {
+			if vec {
+				k.ob.kernelPath(k.ob.pathVec32)
+			} else {
+				k.ob.kernelPath(k.ob.pathTiled32)
+			}
+		}
+		degridSubgridTiled(k, item, in, uvw, atermP, atermQ, vis, s, par, tile)
 	} else {
 		tile := degridTile[float64]
-		vec := k.vectorTiles()
+		vec := k.disp.degridVec64 != nil
 		if vec {
-			tile = degridTileVec
+			tile = k.disp.degridVec64
 		}
 		if k.ob.enabled() {
 			if vec {

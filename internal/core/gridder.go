@@ -43,15 +43,24 @@ func (k *Kernels) gridSubgridScratch(item plan.WorkItem, uvw []uvwsim.UVW, vis [
 		return
 	}
 	if k.params.Precision == Float32 {
-		if k.ob.enabled() {
-			k.ob.kernelPath(k.ob.pathTiled32)
+		tile := gridTile[float32]
+		vec := k.disp.gridVec32 != nil && k.useRecurrence(item.NrChannels)
+		if vec {
+			tile = k.disp.gridVec32
 		}
-		gridSubgridTiled[float32](k, item, uvw, vis, atermP, atermQ, out, s, par, gridTile[float32])
+		if k.ob.enabled() {
+			if vec {
+				k.ob.kernelPath(k.ob.pathVec32)
+			} else {
+				k.ob.kernelPath(k.ob.pathTiled32)
+			}
+		}
+		gridSubgridTiled[float32](k, item, uvw, vis, atermP, atermQ, out, s, par, tile)
 	} else {
 		tile := gridTile[float64]
-		vec := k.vectorTiles() && k.useRecurrence(item.NrChannels)
+		vec := k.disp.gridVec64 != nil && k.useRecurrence(item.NrChannels)
 		if vec {
-			tile = gridTileVec
+			tile = k.disp.gridVec64
 		}
 		if k.ob.enabled() {
 			if vec {
@@ -62,13 +71,6 @@ func (k *Kernels) gridSubgridScratch(item plan.WorkItem, uvw []uvwsim.UVW, vis [
 		}
 		gridSubgridTiled[float64](k, item, uvw, vis, atermP, atermQ, out, s, par, tile)
 	}
-}
-
-// vectorTiles reports whether the hand-vectorized AVX2+FMA tile
-// kernels apply: float64-only (callers additionally pin the precision),
-// detected hardware support, and not ablated away.
-func (k *Kernels) vectorTiles() bool {
-	return vectorKernels && !k.params.DisableVectorKernels
 }
 
 // phasorMinChannels is the smallest channel count for which the

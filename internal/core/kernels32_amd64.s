@@ -1,0 +1,552 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// The hand-vectorized float32 inner loops of the gridder and degridder:
+// the eight-lane (PS) analogues of the float64 quad kernels in
+// kernels_amd64.s (see simd_amd64.go for the contract and layout).
+// Every YMM register holds eight float32 lanes, so one iteration covers
+// eight channels (rotAccOcts) or eight pixels (conjAccOcts, rotOcts).
+// All three are leaf functions: NOSPLIT, no calls, VZEROUPPER before
+// returning to Go code.
+
+// func rotAccOcts(acc, r0, i0, r1, i1, r2, i2, r3, i3 *float32, no int, ph *float32)
+//
+// Gridder channel loop, eight channels per iteration. acc points at a
+// [64]float32 block: eight accumulators x eight lanes, accumulator k's
+// lanes at acc[8k:8k+8]. ph points at [18]float32: per-lane phasor
+// sin at ph[0:8], cos at ph[8:16], and the eight-channel step rotator
+// sin/cos at ph[16], ph[17]. The phasor register state is NOT written
+// back: callers re-seed per resync chunk.
+TEXT ·rotAccOcts(SB), NOSPLIT, $0-88
+	MOVQ acc+0(FP), AX
+	MOVQ r0+8(FP), SI
+	MOVQ i0+16(FP), DI
+	MOVQ r1+24(FP), R8
+	MOVQ i1+32(FP), R9
+	MOVQ r2+40(FP), R10
+	MOVQ i2+48(FP), R11
+	MOVQ r3+56(FP), R12
+	MOVQ i3+64(FP), R13
+	MOVQ no+72(FP), DX
+	MOVQ ph+80(FP), BX
+
+	VMOVUPS      (BX), Y0       // ps lanes
+	VMOVUPS      32(BX), Y1     // pc lanes
+	VBROADCASTSS 64(BX), Y2     // sin(8*delta)
+	VBROADCASTSS 68(BX), Y3     // cos(8*delta)
+
+	VMOVUPS (AX), Y4
+	VMOVUPS 32(AX), Y5
+	VMOVUPS 64(AX), Y6
+	VMOVUPS 96(AX), Y7
+	VMOVUPS 128(AX), Y8
+	VMOVUPS 160(AX), Y9
+	VMOVUPS 192(AX), Y10
+	VMOVUPS 224(AX), Y11
+
+octloop:
+	VMOVUPS      (SI), Y12      // vr, correlation 0
+	VMOVUPS      (DI), Y13      // vi
+	VFMADD231PS  Y1, Y12, Y4    // a0 += vr*pc
+	VFNMADD231PS Y0, Y13, Y4    // a0 -= vi*ps
+	VFMADD231PS  Y0, Y12, Y5    // a1 += vr*ps
+	VFMADD231PS  Y1, Y13, Y5    // a1 += vi*pc
+	VMOVUPS      (R8), Y12
+	VMOVUPS      (R9), Y13
+	VFMADD231PS  Y1, Y12, Y6
+	VFNMADD231PS Y0, Y13, Y6
+	VFMADD231PS  Y0, Y12, Y7
+	VFMADD231PS  Y1, Y13, Y7
+	VMOVUPS      (R10), Y12
+	VMOVUPS      (R11), Y13
+	VFMADD231PS  Y1, Y12, Y8
+	VFNMADD231PS Y0, Y13, Y8
+	VFMADD231PS  Y0, Y12, Y9
+	VFMADD231PS  Y1, Y13, Y9
+	VMOVUPS      (R12), Y12
+	VMOVUPS      (R13), Y13
+	VFMADD231PS  Y1, Y12, Y10
+	VFNMADD231PS Y0, Y13, Y10
+	VFMADD231PS  Y0, Y12, Y11
+	VFMADD231PS  Y1, Y13, Y11
+
+	// Advance the phasor lanes by eight channels:
+	// ps' = ps*dc8 + pc*ds8, pc' = pc*dc8 - ps*ds8.
+	VMULPS       Y3, Y0, Y14
+	VMULPS       Y3, Y1, Y15
+	VFMADD231PS  Y2, Y1, Y14
+	VFNMADD231PS Y2, Y0, Y15
+	VMOVAPS      Y14, Y0
+	VMOVAPS      Y15, Y1
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	DECQ DX
+	JNZ  octloop
+
+	VMOVUPS Y4, (AX)
+	VMOVUPS Y5, 32(AX)
+	VMOVUPS Y6, 64(AX)
+	VMOVUPS Y7, 96(AX)
+	VMOVUPS Y8, 128(AX)
+	VMOVUPS Y9, 160(AX)
+	VMOVUPS Y10, 192(AX)
+	VMOVUPS Y11, 224(AX)
+	VZEROUPPER
+	RET
+
+// func rotAccOctsBlk(acc, r0, i0, r1, i1, r2, i2, r3, i3 *float32, no int, ph *float32, nt, visAdj, phAdj int)
+//
+// Timestep-blocked rotAccOcts: one call covers nt time steps of one
+// pixel, keeping the eight accumulator registers live across the whole
+// block instead of round-tripping them through memory per time step —
+// at the paper's channel counts the per-call accumulator traffic
+// otherwise costs as much as the useful work. Per time step the
+// phasor lanes and the rotator reload from a fresh [18]float32 block
+// (ph advances by phAdj bytes per step), the channel loop runs no
+// iterations, and the visibility pointers then advance by visAdj bytes
+// (= 4*nc - 32*no) to the next time step's channel 0. The arithmetic
+// sequence per (time step, channel) is identical to per-step
+// rotAccOcts calls, so results are bitwise equal to the unblocked
+// form.
+TEXT ·rotAccOctsBlk(SB), NOSPLIT, $0-112
+	MOVQ acc+0(FP), AX
+	MOVQ r0+8(FP), SI
+	MOVQ i0+16(FP), DI
+	MOVQ r1+24(FP), R8
+	MOVQ i1+32(FP), R9
+	MOVQ r2+40(FP), R10
+	MOVQ i2+48(FP), R11
+	MOVQ r3+56(FP), R12
+	MOVQ i3+64(FP), R13
+	MOVQ no+72(FP), R15
+	MOVQ ph+80(FP), BX
+	MOVQ nt+88(FP), CX
+	MOVQ visAdj+96(FP), R14
+
+	VMOVUPS (AX), Y4
+	VMOVUPS 32(AX), Y5
+	VMOVUPS 64(AX), Y6
+	VMOVUPS 96(AX), Y7
+	VMOVUPS 128(AX), Y8
+	VMOVUPS 160(AX), Y9
+	VMOVUPS 192(AX), Y10
+	VMOVUPS 224(AX), Y11
+
+blktloop:
+	VMOVUPS      (BX), Y0       // ps lanes of this time step
+	VMOVUPS      32(BX), Y1     // pc lanes
+	VBROADCASTSS 64(BX), Y2     // sin(8*delta)
+	VBROADCASTSS 68(BX), Y3     // cos(8*delta)
+	MOVQ         R15, DX
+
+blkoctloop:
+	VMOVUPS      (SI), Y12      // vr, correlation 0
+	VMOVUPS      (DI), Y13      // vi
+	VFMADD231PS  Y1, Y12, Y4    // a0 += vr*pc
+	VFNMADD231PS Y0, Y13, Y4    // a0 -= vi*ps
+	VFMADD231PS  Y0, Y12, Y5    // a1 += vr*ps
+	VFMADD231PS  Y1, Y13, Y5    // a1 += vi*pc
+	VMOVUPS      (R8), Y12
+	VMOVUPS      (R9), Y13
+	VFMADD231PS  Y1, Y12, Y6
+	VFNMADD231PS Y0, Y13, Y6
+	VFMADD231PS  Y0, Y12, Y7
+	VFMADD231PS  Y1, Y13, Y7
+	VMOVUPS      (R10), Y12
+	VMOVUPS      (R11), Y13
+	VFMADD231PS  Y1, Y12, Y8
+	VFNMADD231PS Y0, Y13, Y8
+	VFMADD231PS  Y0, Y12, Y9
+	VFMADD231PS  Y1, Y13, Y9
+	VMOVUPS      (R12), Y12
+	VMOVUPS      (R13), Y13
+	VFMADD231PS  Y1, Y12, Y10
+	VFNMADD231PS Y0, Y13, Y10
+	VFMADD231PS  Y0, Y12, Y11
+	VFMADD231PS  Y1, Y13, Y11
+
+	// Advance the phasor lanes by eight channels (see rotAccOcts).
+	VMULPS       Y3, Y0, Y14
+	VMULPS       Y3, Y1, Y15
+	VFMADD231PS  Y2, Y1, Y14
+	VFNMADD231PS Y2, Y0, Y15
+	VMOVAPS      Y14, Y0
+	VMOVAPS      Y15, Y1
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	DECQ DX
+	JNZ  blkoctloop
+
+	ADDQ R14, SI
+	ADDQ R14, DI
+	ADDQ R14, R8
+	ADDQ R14, R9
+	ADDQ R14, R10
+	ADDQ R14, R11
+	ADDQ R14, R12
+	ADDQ R14, R13
+	MOVQ phAdj+104(FP), DX
+	ADDQ DX, BX
+	DECQ CX
+	JNZ  blktloop
+
+	VMOVUPS Y4, (AX)
+	VMOVUPS Y5, 32(AX)
+	VMOVUPS Y6, 64(AX)
+	VMOVUPS Y7, 96(AX)
+	VMOVUPS Y8, 128(AX)
+	VMOVUPS Y9, 160(AX)
+	VMOVUPS Y10, 192(AX)
+	VMOVUPS Y11, 224(AX)
+	VZEROUPPER
+	RET
+
+// func seedOctsBlk(ph, s0, c0, ds, dc *float64, ng int)
+//
+// Vectorized seedOctLanes over time steps: each iteration seeds FOUR
+// consecutive time steps' 18-wide phasor register blocks from the
+// planar base/delta sincos results (s0/c0 hold sin/cos of the chunk
+// base per step, ds/dc of the per-channel delta). The arithmetic is
+// element-wise identical to seedOctLanes — the same unfused multiply
+// and add sequence, four steps per VMULPD/VADDPD/VSUBPD — so results
+// are bitwise equal to the scalar Go seeding (2*x is computed as x+x,
+// which rounds identically). The caller handles ng%4 leftover steps
+// with seedOctLanes. Output blocks are float64; the caller narrows
+// with xmath.CvtF64F32.
+//
+// Register map per iteration: Y0-Y1 s0/c0 (later lanes 4-7 s/c of
+// lane 0), Y2-Y3 ds/dc then scratch, Y10-Y15 lanes 1-3 s/c, Y4-Y5
+// ds2/dc2 then scratch, Y6-Y7 ds4/dc4, Y8-Y9 rotator sin/cos.
+// Transposed stores go through VUNPCKL/HPD pairs and 128-bit halves
+// (low half via X register, high half via VEXTRACTF128-to-memory), so
+// the lane vectors survive for the lanes-4-7 pass. Block stride is
+// 18 floats = 144 bytes.
+TEXT ·seedOctsBlk(SB), NOSPLIT, $0-48
+	MOVQ ph+0(FP), DI
+	MOVQ s0+8(FP), SI
+	MOVQ c0+16(FP), BX
+	MOVQ ds+24(FP), R8
+	MOVQ dc+32(FP), R9
+	MOVQ ng+40(FP), CX
+
+seedloop:
+	VMOVUPD (SI), Y0  // s0
+	VMOVUPD (BX), Y1  // c0
+	VMOVUPD (R8), Y2  // ds
+	VMOVUPD (R9), Y3  // dc
+
+	// Lanes 1-3 by single-delta rotations (sk*dc+ck*ds, ck*dc-sk*ds).
+	VMULPD Y3, Y0, Y10
+	VMULPD Y2, Y1, Y11
+	VADDPD Y11, Y10, Y10 // s1
+	VMULPD Y3, Y1, Y11
+	VMULPD Y2, Y0, Y12
+	VSUBPD Y12, Y11, Y11 // c1
+	VMULPD Y3, Y10, Y12
+	VMULPD Y2, Y11, Y13
+	VADDPD Y13, Y12, Y12 // s2
+	VMULPD Y3, Y11, Y13
+	VMULPD Y2, Y10, Y14
+	VSUBPD Y14, Y13, Y13 // c2
+	VMULPD Y3, Y12, Y14
+	VMULPD Y2, Y13, Y15
+	VADDPD Y15, Y14, Y14 // s3
+	VMULPD Y3, Y13, Y15
+	VMULPD Y2, Y12, Y4
+	VSUBPD Y4, Y15, Y15  // c3
+
+	// Double-angle chain: delta -> 2*delta -> 4*delta (lane-4 rotation)
+	// -> 8*delta (the kernel rotator).
+	VADDPD Y2, Y2, Y4
+	VMULPD Y3, Y4, Y4 // ds2 = (2*ds)*dc
+	VMULPD Y3, Y3, Y5
+	VMULPD Y2, Y2, Y6
+	VSUBPD Y6, Y5, Y5 // dc2 = dc*dc - ds*ds
+	VADDPD Y4, Y4, Y6
+	VMULPD Y5, Y6, Y6 // ds4
+	VMULPD Y5, Y5, Y7
+	VMULPD Y4, Y4, Y8
+	VSUBPD Y8, Y7, Y7 // dc4
+	VADDPD Y6, Y6, Y8
+	VMULPD Y7, Y8, Y8 // rotator sin
+	VMULPD Y7, Y7, Y9
+	VMULPD Y6, Y6, Y2
+	VSUBPD Y2, Y9, Y9 // rotator cos
+
+	// Transposed stores: lanes 0-3 sin -> ph[t][0:4] (bytes +0).
+	VUNPCKLPD    Y10, Y0, Y2
+	VUNPCKHPD    Y10, Y0, Y3
+	VUNPCKLPD    Y14, Y12, Y4
+	VUNPCKHPD    Y14, Y12, Y5
+	VMOVUPD      X2, (DI)
+	VMOVUPD      X4, 16(DI)
+	VMOVUPD      X3, 144(DI)
+	VMOVUPD      X5, 160(DI)
+	VEXTRACTF128 $1, Y2, 288(DI)
+	VEXTRACTF128 $1, Y4, 304(DI)
+	VEXTRACTF128 $1, Y3, 432(DI)
+	VEXTRACTF128 $1, Y5, 448(DI)
+
+	// Lanes 0-3 cos -> ph[t][8:12] (bytes +64).
+	VUNPCKLPD    Y11, Y1, Y2
+	VUNPCKHPD    Y11, Y1, Y3
+	VUNPCKLPD    Y15, Y13, Y4
+	VUNPCKHPD    Y15, Y13, Y5
+	VMOVUPD      X2, 64(DI)
+	VMOVUPD      X4, 80(DI)
+	VMOVUPD      X3, 208(DI)
+	VMOVUPD      X5, 224(DI)
+	VEXTRACTF128 $1, Y2, 352(DI)
+	VEXTRACTF128 $1, Y4, 368(DI)
+	VEXTRACTF128 $1, Y3, 496(DI)
+	VEXTRACTF128 $1, Y5, 512(DI)
+
+	// Rotator -> ph[t][16:18] (bytes +128).
+	VUNPCKLPD    Y9, Y8, Y2
+	VUNPCKHPD    Y9, Y8, Y3
+	VMOVUPD      X2, 128(DI)
+	VMOVUPD      X3, 272(DI)
+	VEXTRACTF128 $1, Y2, 416(DI)
+	VEXTRACTF128 $1, Y3, 560(DI)
+
+	// Lanes 4-7 in place: rotate lanes 0-3 by exp(i*4*delta)
+	// (cos part first so the sin source survives).
+	VMULPD  Y7, Y1, Y2
+	VMULPD  Y6, Y0, Y3
+	VSUBPD  Y3, Y2, Y2
+	VMULPD  Y7, Y0, Y3
+	VMULPD  Y6, Y1, Y4
+	VADDPD  Y4, Y3, Y0  // s4
+	VMOVAPD Y2, Y1      // c4
+	VMULPD  Y7, Y11, Y2
+	VMULPD  Y6, Y10, Y3
+	VSUBPD  Y3, Y2, Y2
+	VMULPD  Y7, Y10, Y3
+	VMULPD  Y6, Y11, Y4
+	VADDPD  Y4, Y3, Y10 // s5
+	VMOVAPD Y2, Y11     // c5
+	VMULPD  Y7, Y13, Y2
+	VMULPD  Y6, Y12, Y3
+	VSUBPD  Y3, Y2, Y2
+	VMULPD  Y7, Y12, Y3
+	VMULPD  Y6, Y13, Y4
+	VADDPD  Y4, Y3, Y12 // s6
+	VMOVAPD Y2, Y13     // c6
+	VMULPD  Y7, Y15, Y2
+	VMULPD  Y6, Y14, Y3
+	VSUBPD  Y3, Y2, Y2
+	VMULPD  Y7, Y14, Y3
+	VMULPD  Y6, Y15, Y4
+	VADDPD  Y4, Y3, Y14 // s7
+	VMOVAPD Y2, Y15     // c7
+
+	// Lanes 4-7 sin -> ph[t][4:8] (bytes +32).
+	VUNPCKLPD    Y10, Y0, Y2
+	VUNPCKHPD    Y10, Y0, Y3
+	VUNPCKLPD    Y14, Y12, Y4
+	VUNPCKHPD    Y14, Y12, Y5
+	VMOVUPD      X2, 32(DI)
+	VMOVUPD      X4, 48(DI)
+	VMOVUPD      X3, 176(DI)
+	VMOVUPD      X5, 192(DI)
+	VEXTRACTF128 $1, Y2, 320(DI)
+	VEXTRACTF128 $1, Y4, 336(DI)
+	VEXTRACTF128 $1, Y3, 464(DI)
+	VEXTRACTF128 $1, Y5, 480(DI)
+
+	// Lanes 4-7 cos -> ph[t][12:16] (bytes +96).
+	VUNPCKLPD    Y11, Y1, Y2
+	VUNPCKHPD    Y11, Y1, Y3
+	VUNPCKLPD    Y15, Y13, Y4
+	VUNPCKHPD    Y15, Y13, Y5
+	VMOVUPD      X2, 96(DI)
+	VMOVUPD      X4, 112(DI)
+	VMOVUPD      X3, 240(DI)
+	VMOVUPD      X5, 256(DI)
+	VEXTRACTF128 $1, Y2, 384(DI)
+	VEXTRACTF128 $1, Y4, 400(DI)
+	VEXTRACTF128 $1, Y3, 528(DI)
+	VEXTRACTF128 $1, Y5, 544(DI)
+
+	ADDQ $32, SI
+	ADDQ $32, BX
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $576, DI
+	DECQ CX
+	JNZ  seedloop
+
+	VZEROUPPER
+	RET
+
+// func conjAccOcts(out, phRe, phIm, p0r, p0i, p1r, p1i, p2r, p2i, p3r, p3i *float32, no int)
+//
+// Degridder pixel loop, eight pixels per iteration: accumulates
+// sum_i conj(phasor_i) * pixel_i over 8*no pixels into the eight
+// scalars at out (re/im per correlation). Vector partial sums reduce
+// ((l0+l4)+(l1+l5))+((l2+l6)+(l3+l7)) on exit and ADD into out.
+TEXT ·conjAccOcts(SB), NOSPLIT, $0-96
+	MOVQ out+0(FP), AX
+	MOVQ phRe+8(FP), BX
+	MOVQ phIm+16(FP), CX
+	MOVQ p0r+24(FP), SI
+	MOVQ p0i+32(FP), DI
+	MOVQ p1r+40(FP), R8
+	MOVQ p1i+48(FP), R9
+	MOVQ p2r+56(FP), R10
+	MOVQ p2i+64(FP), R11
+	MOVQ p3r+72(FP), R12
+	MOVQ p3i+80(FP), R13
+	MOVQ no+88(FP), DX
+
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+
+pixloop:
+	VMOVUPS (BX), Y0            // cr = phRe
+	VMOVUPS (CX), Y1            // -ci = phIm (conjugate phasor)
+	VMOVUPS      (SI), Y12      // vr, correlation 0
+	VMOVUPS      (DI), Y13      // vi
+	VFMADD231PS  Y0, Y12, Y4    // s_re += vr*cr
+	VFMADD231PS  Y1, Y13, Y4    // s_re += vi*phIm  (= -vi*ci)
+	VFNMADD231PS Y1, Y12, Y5    // s_im -= vr*phIm  (= +vr*ci)
+	VFMADD231PS  Y0, Y13, Y5    // s_im += vi*cr
+	VMOVUPS      (R8), Y12
+	VMOVUPS      (R9), Y13
+	VFMADD231PS  Y0, Y12, Y6
+	VFMADD231PS  Y1, Y13, Y6
+	VFNMADD231PS Y1, Y12, Y7
+	VFMADD231PS  Y0, Y13, Y7
+	VMOVUPS      (R10), Y12
+	VMOVUPS      (R11), Y13
+	VFMADD231PS  Y0, Y12, Y8
+	VFMADD231PS  Y1, Y13, Y8
+	VFNMADD231PS Y1, Y12, Y9
+	VFMADD231PS  Y0, Y13, Y9
+	VMOVUPS      (R12), Y12
+	VMOVUPS      (R13), Y13
+	VFMADD231PS  Y0, Y12, Y10
+	VFMADD231PS  Y1, Y13, Y10
+	VFNMADD231PS Y1, Y12, Y11
+	VFMADD231PS  Y0, Y13, Y11
+
+	ADDQ $32, BX
+	ADDQ $32, CX
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $32, R10
+	ADDQ $32, R11
+	ADDQ $32, R12
+	ADDQ $32, R13
+	DECQ DX
+	JNZ  pixloop
+
+	// Reduce each accumulator's eight lanes and add into out[k].
+	// VEXTRACTF128 folds the upper half onto the lower
+	// (l0+l4 .. l3+l7); two HADDPS passes sum the remaining quad as
+	// ((l0+l4)+(l1+l5))+((l2+l6)+(l3+l7)).
+	VEXTRACTF128 $1, Y4, X12
+	VADDPS       X12, X4, X4
+	VHADDPS      X4, X4, X4
+	VHADDPS      X4, X4, X4
+	VEXTRACTF128 $1, Y5, X12
+	VADDPS       X12, X5, X5
+	VHADDPS      X5, X5, X5
+	VHADDPS      X5, X5, X5
+	VEXTRACTF128 $1, Y6, X12
+	VADDPS       X12, X6, X6
+	VHADDPS      X6, X6, X6
+	VHADDPS      X6, X6, X6
+	VEXTRACTF128 $1, Y7, X12
+	VADDPS       X12, X7, X7
+	VHADDPS      X7, X7, X7
+	VHADDPS      X7, X7, X7
+	VEXTRACTF128 $1, Y8, X12
+	VADDPS       X12, X8, X8
+	VHADDPS      X8, X8, X8
+	VHADDPS      X8, X8, X8
+	VEXTRACTF128 $1, Y9, X12
+	VADDPS       X12, X9, X9
+	VHADDPS      X9, X9, X9
+	VHADDPS      X9, X9, X9
+	VEXTRACTF128 $1, Y10, X12
+	VADDPS       X12, X10, X10
+	VHADDPS      X10, X10, X10
+	VHADDPS      X10, X10, X10
+	VEXTRACTF128 $1, Y11, X12
+	VADDPS       X12, X11, X11
+	VHADDPS      X11, X11, X11
+	VHADDPS      X11, X11, X11
+
+	VADDSS (AX), X4, X4
+	VMOVSS X4, (AX)
+	VADDSS 4(AX), X5, X5
+	VMOVSS X5, 4(AX)
+	VADDSS 8(AX), X6, X6
+	VMOVSS X6, 8(AX)
+	VADDSS 12(AX), X7, X7
+	VMOVSS X7, 12(AX)
+	VADDSS 16(AX), X8, X8
+	VMOVSS X8, 16(AX)
+	VADDSS 20(AX), X9, X9
+	VMOVSS X9, 20(AX)
+	VADDSS 24(AX), X10, X10
+	VMOVSS X10, 24(AX)
+	VADDSS 28(AX), X11, X11
+	VMOVSS X11, 28(AX)
+	VZEROUPPER
+	RET
+
+// func rotOcts(phRe, phIm, dRe, dIm *float32, no int)
+//
+// Degridder phasor rotation pass, eight pixels per iteration:
+// phIm' = phIm*dRe + phRe*dIm, phRe' = phRe*dRe - phIm*dIm.
+TEXT ·rotOcts(SB), NOSPLIT, $0-40
+	MOVQ phRe+0(FP), AX
+	MOVQ phIm+8(FP), BX
+	MOVQ dRe+16(FP), CX
+	MOVQ dIm+24(FP), SI
+	MOVQ no+32(FP), DX
+
+rotloop:
+	VMOVUPS      (AX), Y0       // co
+	VMOVUPS      (BX), Y1       // s
+	VMOVUPS      (CX), Y2       // dRe
+	VMOVUPS      (SI), Y3       // dIm
+	VMULPS       Y2, Y1, Y4     // s*dRe
+	VFMADD231PS  Y3, Y0, Y4     // += co*dIm -> phIm'
+	VMULPS       Y2, Y0, Y5     // co*dRe
+	VFNMADD231PS Y3, Y1, Y5     // -= s*dIm -> phRe'
+	VMOVUPS      Y4, (BX)
+	VMOVUPS      Y5, (AX)
+	ADDQ         $32, AX
+	ADDQ         $32, BX
+	ADDQ         $32, CX
+	ADDQ         $32, SI
+	DECQ         DX
+	JNZ          rotloop
+	VZEROUPPER
+	RET

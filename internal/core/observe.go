@@ -33,7 +33,7 @@ type kernelObs struct {
 
 	// Kernel dispatch-path counters (which code path actually ran:
 	// essential when a perf number surprises).
-	pathRef, pathTiled32, pathTiled64, pathVec *obs.Counter
+	pathRef, pathTiled32, pathTiled64, pathVec, pathVec32 *obs.Counter
 
 	// Sharded-grid and streaming-scheduler instruments.
 	shardLocks, shardContended *obs.Counter
@@ -77,6 +77,7 @@ func newKernelObs(o *obs.Observer) *kernelObs {
 		ko.pathTiled32 = r.Counter(obs.MetricKernelPathTiled32)
 		ko.pathTiled64 = r.Counter(obs.MetricKernelPathTiled64)
 		ko.pathVec = r.Counter(obs.MetricKernelPathVector)
+		ko.pathVec32 = r.Counter(obs.MetricKernelPathVector32)
 		ko.shardLocks = r.Counter(obs.MetricShardLocks)
 		ko.shardContended = r.Counter(obs.MetricShardContention)
 		ko.streamChunks = r.Counter(obs.MetricStreamChunks)

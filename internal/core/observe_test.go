@@ -76,7 +76,8 @@ func TestObserverStageCountsMatchPlan(t *testing.T) {
 	paths := snap.Counters[obs.MetricKernelPathReference] +
 		snap.Counters[obs.MetricKernelPathTiled32] +
 		snap.Counters[obs.MetricKernelPathTiled64] +
-		snap.Counters[obs.MetricKernelPathVector]
+		snap.Counters[obs.MetricKernelPathVector] +
+		snap.Counters[obs.MetricKernelPathVector32]
 	if paths != 2*nItems {
 		t.Errorf("kernel path counters sum to %d, want %d", paths, 2*nItems)
 	}
@@ -236,6 +237,12 @@ func TestObserverDisabledZeroCost(t *testing.T) {
 	visBuf := s.vs.Data[item.Baseline][:item.NrVisibilities()]
 	// Warm the scratch pool, then demand zero allocations per call.
 	s.kernels.GridSubgrid(item, s.vs.itemUVW(item), visBuf, nil, nil, sgr)
+	if raceEnabled {
+		// The instrumented sync.Pool drops items at random, so scratch
+		// reuse is not guaranteed per call; the benchmarks and the
+		// non-race run of this test pin the 0 allocs/op contract.
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
 	allocs := testing.AllocsPerRun(10, func() {
 		s.kernels.GridSubgrid(item, s.vs.itemUVW(item), visBuf, nil, nil, sgr)
 	})

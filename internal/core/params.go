@@ -190,11 +190,22 @@ type Params struct {
 	// xmath.PhasorErrorBound).
 	DisablePhasorRecurrence bool
 	// DisableVectorKernels forces the generic Go tile kernels even on
-	// hardware where the hand-vectorized AVX2+FMA float64 loops are
-	// available (used by the ablation benchmarks and the property tests
-	// that compare the two paths; results agree to within the same
-	// rounding class as the scalar FMA split).
+	// hardware where the hand-vectorized AVX2+FMA loops are available
+	// (used by the ablation benchmarks and the property tests that
+	// compare the two paths; results agree to within the same rounding
+	// class as the scalar FMA split). Equivalent to running under
+	// IDG_SIMD=scalar as far as tile selection goes, but scoped to one
+	// Kernels value instead of the process.
 	DisableVectorKernels bool
+
+	// forceSIMD pins the dispatch tier of this Kernels value,
+	// overriding xmath.ActiveSIMD (still clamped to the detected
+	// hardware: forcing an unsupported tier would fault). It is the
+	// in-process test seam behind the per-tier property tests — the
+	// IDG_SIMD environment override resolves once per process, so
+	// per-tier coverage inside one test binary needs a per-Kernels
+	// knob. Unexported deliberately: production callers use IDG_SIMD.
+	forceSIMD *xmath.SIMDTier
 }
 
 // Validate checks the parameters.
@@ -328,6 +339,20 @@ type Kernels struct {
 	// xmath.HasFastFMA).
 	fastFMA bool
 
+	// disp is the SIMD dispatch table resolved once at construction
+	// (see dispatch.go): the active tier plus the vector tile kernels
+	// it enables, already accounting for the IDG_SIMD override, the
+	// DisableVectorKernels ablation and the forceSIMD test seam.
+	disp simdDispatch
+
+	// sincosVec evaluates a batch of phase arguments into parallel
+	// sin/cos slices. With the default evaluator it is the lane-parallel
+	// xmath.SincosVec (vecSincos true); with a configured Params.Sincos
+	// it degrades to a loop over the scalar evaluator so results honor
+	// the configuration.
+	sincosVec func(sin, cos, x []float64)
+	vecSincos bool
+
 	// Per-worker buffer pools of the pipeline hot path (see
 	// scratch.go). Both reach a steady state with zero allocations per
 	// work item.
@@ -384,6 +409,36 @@ func NewKernels(params Params) (*Kernels, error) {
 	}
 	k.rotator = xmath.PhasorRotator{Sincos: k.sincos}
 	k.fastFMA = xmath.HasFastFMA()
+	tier := xmath.ActiveSIMD()
+	if params.forceSIMD != nil {
+		tier = *params.forceSIMD
+		if tier > xmath.DetectedSIMD() {
+			tier = xmath.DetectedSIMD()
+		}
+	}
+	k.disp = dispatchFor(tier)
+	if params.DisableVectorKernels {
+		k.disp.gridVec64, k.disp.degridVec64 = nil, nil
+		k.disp.gridVec32, k.disp.degridVec32 = nil, nil
+	}
+	if params.Sincos == nil {
+		// Pin the batch evaluator to the resolved dispatch tier: bitwise
+		// identical at every tier, but a forced/lowered tier then also
+		// lowers the sincos lanes (so IDG_SIMD measurements mean what
+		// they say) and the hot path skips the per-call tier lookup.
+		sincosTier := k.disp.tier
+		k.sincosVec = func(sin, cos, x []float64) {
+			xmath.SincosVecAt(sincosTier, sin, cos, x)
+		}
+		k.vecSincos = true
+	} else {
+		sc := k.sincos
+		k.sincosVec = func(sin, cos, x []float64) {
+			for i, v := range x {
+				sin[i], cos[i] = sc(v)
+			}
+		}
+	}
 	k.sgFFT = fft.NewPlan2D(sg, sg)
 	k.scratchPool.New = func() any { return new(scratch) }
 	k.subgridPool.New = func() any { return grid.NewSubgrid(sg, 0, 0) }

@@ -1,0 +1,10 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. Allocation-count assertions are skipped under race:
+// sync.Pool deliberately drops items at random when instrumented (to
+// exercise the New path), so scratch reuse — the thing those
+// assertions pin — is not guaranteed per call.
+const raceEnabled = true

@@ -29,10 +29,17 @@ type kbufs[F floatT] struct {
 
 	// acc is the gridder's per-tile accumulator block, 8 floats per
 	// pixel of the tile, carried across visibility blocks. vacc is its
-	// vector-kernel analogue: 8 accumulators x 4 SIMD lanes per pixel,
-	// lane-reduced only when the tile finishes (float64/amd64 only).
+	// vector-kernel analogue: 8 accumulators x 4 (float64) or 8
+	// (float32) SIMD lanes per pixel, lane-reduced only when the tile
+	// finishes (amd64 only).
 	acc  []F
 	vacc []F
+
+	// phv stages the per-timestep phasor register blocks of the
+	// time-blocked vector gridder (one 18-lane block per time step of a
+	// visibility block), so a single blocked kernel call can sweep a
+	// whole block with the accumulators held in registers.
+	phv []F
 
 	// vsum is the degridder's visibility accumulator (8 floats per
 	// visibility); partial holds the per-tile partial sums when tiles
@@ -61,6 +68,18 @@ type scratch struct {
 	// magnitude ~1e4 rad would lose ~1e-3 rad to rounding, far beyond
 	// the float32 accumulation error class.
 	pIdx, pOff []float64
+
+	// Batched sine/cosine staging of the vector tiles: phase arguments
+	// gathered into sArg and evaluated in one Kernels.sincosVec call
+	// per seeding pass (results land in sSin/sCos, or directly in the
+	// float64 phasor buffers). Arguments and results stay float64 in
+	// both precisions, like the phase tables above.
+	sArg, sSin, sCos []float64
+
+	// sPhd stages the float32 vector gridder's phasor register blocks
+	// in float64 (seedOctLanes); whole blocks narrow into b32.phv with
+	// one xmath.CvtF64F32 sweep.
+	sPhd []float64
 
 	b64 kbufs[float64]
 	b32 kbufs[float32]

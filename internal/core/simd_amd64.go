@@ -2,23 +2,22 @@
 
 package core
 
-import "repro/internal/xmath"
-
-// vectorKernels gates the hand-vectorized (AVX2+FMA) float64 kernel
-// loops in kernels_amd64.s. Detected once at startup; the pure-Go
-// generic kernels remain the reference and the fallback (and the only
-// float32 path).
-var vectorKernels = xmath.HasAVX2FMA()
+// haveVectorASM gates the hand-vectorized (AVX2+FMA) tile kernel
+// bodies in kernels_amd64.s and kernels32_amd64.s. Whether they
+// actually run is decided per Kernels value by the runtime dispatch
+// table (dispatch.go): the assembled code exists on amd64, but only
+// engages when the active xmath.SIMDTier is at least SIMDAVX2.
+const haveVectorASM = true
 
 // rotAccQuads is the gridder's fused rotate-and-accumulate channel
-// loop, four channels per iteration; see kernels_amd64.s and
+// loop, four float64 channels per iteration; see kernels_amd64.s and
 // gridTileVec for the layout contract.
 //
 //go:noescape
 func rotAccQuads(acc, r0, i0, r1, i1, r2, i2, r3, i3 *float64, nq int, ph *float64)
 
 // conjAccQuads is the degridder's conjugate accumulation pixel loop,
-// four pixels per iteration.
+// four float64 pixels per iteration.
 //
 //go:noescape
 func conjAccQuads(out, phRe, phIm, p0r, p0i, p1r, p1i, p2r, p2i, p3r, p3i *float64, nq int)
@@ -28,3 +27,49 @@ func conjAccQuads(out, phRe, phIm, p0r, p0i, p1r, p1i, p2r, p2i, p3r, p3i *float
 //
 //go:noescape
 func rotQuads(phRe, phIm, dRe, dIm *float64, nq int)
+
+// rotAccOcts is the float32 analogue of rotAccQuads, eight channels
+// per iteration; see kernels32_amd64.s and gridTileVec32 for the
+// layout contract.
+//
+//go:noescape
+func rotAccOcts(acc, r0, i0, r1, i1, r2, i2, r3, i3 *float32, no int, ph *float32)
+
+// rotAccOctsBlk is rotAccOcts blocked over nt time steps of one
+// pixel: the accumulators stay in registers across the block, the
+// phasor lanes reload from a fresh [18]float32 block per step (ph
+// advancing phAdj bytes), and the visibility pointers advance visAdj
+// bytes between steps. Bitwise equal to nt separate rotAccOcts calls.
+//
+//go:noescape
+func rotAccOctsBlk(acc, r0, i0, r1, i1, r2, i2, r3, i3 *float32, no int, ph *float32, nt, visAdj, phAdj int)
+
+// rotAccOctsBlk2 is rotAccOctsBlk for two pixels at once (EVEX
+// registers Y16-Y31 hold the second pixel's state, the visibility
+// loads are shared); kernels32_avx512_amd64.s. Only callable when the
+// active dispatch tier is SIMDAVX512 — the encoding needs AVX-512VL.
+// Bitwise equal to two single-pixel rotAccOctsBlk calls.
+//
+//go:noescape
+func rotAccOctsBlk2(acc0, acc1, r0, i0, r1, i1, r2, i2, r3, i3 *float32, no int, ph0, ph1 *float32, nt, visAdj, phAdj int)
+
+// seedOctsBlk is seedOctLanes vectorized over time steps: it seeds
+// ng*4 consecutive [18]float64 phasor blocks at ph from the planar
+// base/delta sincos arrays (s0/c0/ds/dc each hold one value per time
+// step). Bitwise equal to 4*ng seedOctLanes calls; the caller covers
+// the nt mod 4 leftover steps with seedOctLanes.
+//
+//go:noescape
+func seedOctsBlk(ph, s0, c0, ds, dc *float64, ng int)
+
+// conjAccOcts is the float32 analogue of conjAccQuads, eight pixels
+// per iteration.
+//
+//go:noescape
+func conjAccOcts(out, phRe, phIm, p0r, p0i, p1r, p1i, p2r, p2i, p3r, p3i *float32, no int)
+
+// rotOcts is the float32 analogue of rotQuads, eight pixels per
+// iteration.
+//
+//go:noescape
+func rotOcts(phRe, phIm, dRe, dIm *float32, no int)

@@ -2,10 +2,12 @@
 
 package core
 
-// vectorKernels is false off amd64: the generic Go kernels are the
-// only implementation, and the stubs below are never reached (every
-// call site is gated on vectorKernels, so the linker drops them).
-const vectorKernels = false
+// haveVectorASM is false off amd64: the generic Go kernels are the
+// only implementation, the dispatch table (dispatch.go) never installs
+// the vector tiles, and the stubs below are unreachable (their only
+// callers sit behind haveVectorASM-gated dispatch entries, so the
+// linker drops them).
+const haveVectorASM = false
 
 func rotAccQuads(acc, r0, i0, r1, i1, r2, i2, r3, i3 *float64, nq int, ph *float64) {
 	panic("core: rotAccQuads without vector kernels")
@@ -17,4 +19,28 @@ func conjAccQuads(out, phRe, phIm, p0r, p0i, p1r, p1i, p2r, p2i, p3r, p3i *float
 
 func rotQuads(phRe, phIm, dRe, dIm *float64, nq int) {
 	panic("core: rotQuads without vector kernels")
+}
+
+func rotAccOcts(acc, r0, i0, r1, i1, r2, i2, r3, i3 *float32, no int, ph *float32) {
+	panic("core: rotAccOcts without vector kernels")
+}
+
+func rotAccOctsBlk(acc, r0, i0, r1, i1, r2, i2, r3, i3 *float32, no int, ph *float32, nt, visAdj, phAdj int) {
+	panic("core: rotAccOctsBlk without vector kernels")
+}
+
+func rotAccOctsBlk2(acc0, acc1, r0, i0, r1, i1, r2, i2, r3, i3 *float32, no int, ph0, ph1 *float32, nt, visAdj, phAdj int) {
+	panic("core: rotAccOctsBlk2 without vector kernels")
+}
+
+func seedOctsBlk(ph, s0, c0, ds, dc *float64, ng int) {
+	panic("core: seedOctsBlk without vector kernels")
+}
+
+func conjAccOcts(out, phRe, phIm, p0r, p0i, p1r, p1i, p2r, p2i, p3r, p3i *float32, no int) {
+	panic("core: conjAccOcts without vector kernels")
+}
+
+func rotOcts(phRe, phIm, dRe, dIm *float32, no int) {
+	panic("core: rotOcts without vector kernels")
 }

@@ -2,7 +2,8 @@ package core
 
 // The hand-vectorized float64 tile kernels. They drive the AVX2+FMA
 // loops in kernels_amd64.s and are selected (gridSubgridScratch /
-// degridSubgridScratch) only when Kernels.vectorTiles() holds; the
+// degridSubgridScratch) only when the dispatch table installed them
+// (dispatch.go: amd64 with an active tier of at least SIMDAVX2); the
 // !amd64 stubs in simd_other.go are therefore unreachable. Compared to
 // the generic tiles the arithmetic runs four channels (gridder) or
 // four pixels (degridder) per instruction, with unconditionally fused
@@ -25,14 +26,22 @@ const chunkQuads = xmath.DefaultPhasorResync / 4
 
 // gridTileVec is gridTile on the vector kernels. The channel loop runs
 // four-wide: the four phasor lanes hold channels c..c+3, seeded from
-// two sincos evaluations (base and delta) by three complex rotations,
-// and advanced four channels at a time by the rotator exp(i*4*delta)
-// (double-angle applied twice). Each pixel owns eight accumulators of
-// four lanes each (scratch vacc); lanes persist across visibility
-// blocks and fold only when the tile finishes, so — exactly like the
-// scalar tile — the per-pixel result is independent of the tile and
-// block decomposition. Leftover channels (nc mod 4) accumulate
-// scalar-style into lane 0.
+// sincos evaluations (chunk bases and delta) by three complex
+// rotations, and advanced four channels at a time by the rotator
+// exp(i*4*delta) (double-angle applied twice). Each pixel owns eight
+// accumulators of four lanes each (scratch vacc); lanes persist across
+// visibility blocks and fold only when the tile finishes, so — exactly
+// like the scalar tile — the per-pixel result is independent of the
+// tile and block decomposition. Leftover channels (nc mod 4)
+// accumulate scalar-style into lane 0.
+//
+// The seeding sincos calls are batched: per (pixel, time-step block)
+// every chunk base, the channel-tail base and the delta argument are
+// staged into one argument array and evaluated by a single
+// Kernels.sincosVec call (lane-parallel xmath.SincosVec under the
+// default evaluator). SincosVec is bitwise independent of batch
+// decomposition and SIMD tier, so this keeps the per-pixel result
+// independent of the block size.
 //
 // Error class: the lane seeding applies at most three rotations to an
 // exact sincos pair and every lane is re-seeded each chunk, so the
@@ -54,6 +63,15 @@ func gridTileVec(k *Kernels, item plan.WorkItem, uvw []uvwsim.UVW, sb *scratch, 
 	tail0 := 4 * nq
 	scale0 := k.scale[item.Channel0]
 	block := k.visBlockSteps(nt, nc)
+	// Batched-seeding layout, per time step of a block: one argument
+	// slot per resync chunk (its base phase), one for the channel tail
+	// when nc mod 4 != 0, and one for the per-channel delta.
+	nchunks := (nq + chunkQuads - 1) / chunkQuads
+	seeds := nchunks
+	if tail0 < nc {
+		seeds++
+	}
+	stride := seeds + 1
 	// ph is the register file handed to rotAccQuads: per-lane phasor
 	// sin [0:4] and cos [4:8], then the four-channel rotator sin/cos.
 	var ph [10]float64
@@ -62,6 +80,9 @@ func gridTileVec(k *Kernels, item plan.WorkItem, uvw []uvwsim.UVW, sb *scratch, 
 		if t1 > nt {
 			t1 = nt
 		}
+		arg := growF(&ts.sArg, stride*(t1-t0))
+		asn := growF(&ts.sSin, stride*(t1-t0))
+		acs := growF(&ts.sCos, stride*(t1-t0))
 		for i := pix0; i < pix1; i++ {
 			l, m, n := k.l[i], k.m[i], k.n[i]
 			phaseOffset := twoPi * (uOff*l + vOff*m + wOff*n)
@@ -71,31 +92,42 @@ func gridTileVec(k *Kernels, item plan.WorkItem, uvw []uvwsim.UVW, sb *scratch, 
 				phaseIndex := c3.U*l + c3.V*m + c3.W*n
 				base := phaseIndex*scale0 - phaseOffset
 				delta := phaseIndex * k.dscale
-				ds, dc := k.sincos(delta)
+				o := stride * (t - t0)
+				for ci := 0; ci < nchunks; ci++ {
+					arg[o+ci] = base + float64(4*ci*chunkQuads)*delta
+				}
+				if tail0 < nc {
+					arg[o+seeds-1] = base + float64(tail0)*delta
+				}
+				arg[o+seeds] = delta
+			}
+			k.sincosVec(asn, acs, arg)
+			for t := t0; t < t1; t++ {
+				o := stride * (t - t0)
+				ds, dc := asn[o+seeds], acs[o+seeds]
 				ds2, dc2 := 2*ds*dc, dc*dc-ds*ds
 				ph[8], ph[9] = 2*ds2*dc2, dc2*dc2-ds2*ds2
 				j := t * nc
-				for q0 := 0; q0 < nq; q0 += chunkQuads {
+				for ci, q0 := 0, 0; q0 < nq; ci, q0 = ci+1, q0+chunkQuads {
 					qn := nq - q0
 					if qn > chunkQuads {
 						qn = chunkQuads
 					}
-					c0 := 4 * q0
-					sv, cv := k.sincos(base + float64(c0)*delta)
+					sv, cv := asn[o+ci], acs[o+ci]
 					ph[0], ph[4] = sv, cv
 					s1, c1 := sv*dc+cv*ds, cv*dc-sv*ds
 					ph[1], ph[5] = s1, c1
 					s2, c2 := s1*dc+c1*ds, c1*dc-s1*ds
 					ph[2], ph[6] = s2, c2
 					ph[3], ph[7] = s2*dc+c2*ds, c2*dc-s2*ds
-					jj := j + c0
+					jj := j + 4*q0
 					rotAccQuads(&a[0],
 						&re[0][jj], &im[0][jj], &re[1][jj], &im[1][jj],
 						&re[2][jj], &im[2][jj], &re[3][jj], &im[3][jj],
 						qn, &ph[0])
 				}
 				if tail0 < nc {
-					sv, cv := k.sincos(base + float64(tail0)*delta)
+					sv, cv := asn[o+seeds-1], acs[o+seeds-1]
 					for c := tail0; c < nc; c++ {
 						jj := j + c
 						vr, vi := re[0][jj], im[0][jj]
@@ -136,11 +168,13 @@ func gridTileVec(k *Kernels, item plan.WorkItem, uvw []uvwsim.UVW, sb *scratch, 
 // degridTileVec is degridTile on the vector kernels: the per-pixel
 // phasor rotation pass runs through rotQuads and the conjugate
 // accumulation through conjAccQuads, four pixels per instruction, with
-// scalar loops covering the nc-independent seeding and the n mod 4
-// pixel tail. Tail pixels and the vector lane fold combine in a local
-// accumulator before touching dst, keeping the one-addition-per-
-// element property the serial ≡ parallel bitwise guarantee of
-// degridSubgridTiled rests on.
+// a scalar loop covering the n mod 4 pixel tail. The per-pixel seed
+// and resync sincos sweeps are batched: arguments are staged into the
+// scratch sArg buffer and evaluated by one Kernels.sincosVec call
+// writing straight into the phasor buffers. Tail pixels and the vector
+// lane fold combine in a local accumulator before touching dst,
+// keeping the one-addition-per-element property the serial ≡ parallel
+// bitwise guarantee of degridSubgridTiled rests on.
 func degridTileVec(k *Kernels, item plan.WorkItem, sb *scratch, uvw []uvwsim.UVW, ts *scratch, row0, row1 int, dst []float64) {
 	sg := k.params.SubgridSize
 	nc := item.NrChannels
@@ -167,27 +201,31 @@ func degridTileVec(k *Kernels, item plan.WorkItem, sb *scratch, uvw []uvwsim.UVW
 		tpim[p] = pim[p][i0:i1]
 	}
 	scale0 := k.scale[item.Channel0]
+	arg := growF(&ts.sArg, 2*n)
 	for t := 0; t < item.NrTimesteps; t++ {
 		c3 := uvw[t]
 		for i := 0; i < n; i++ {
 			pIdx[i] = c3.U*l[i] + c3.V*m[i] + c3.W*nn[i]
 		}
 		if useRec {
+			// Seed the per-pixel phasors at channel 0 and the delta
+			// phasors exp(i*pIdx*dscale) that advance them per channel,
+			// one batched evaluation each.
 			for i := 0; i < n; i++ {
-				sv, cv := k.sincos(pIdx[i]*scale0 - off[i])
-				phIm[i], phRe[i] = sv, cv
-				sv, cv = k.sincos(pIdx[i] * k.dscale)
-				dIm[i], dRe[i] = sv, cv
+				arg[i] = pIdx[i]*scale0 - off[i]
+				arg[n+i] = pIdx[i] * k.dscale
 			}
+			k.sincosVec(phIm, phRe, arg[:n])
+			k.sincosVec(dIm, dRe, arg[n:])
 		}
 		for c := 0; c < nc; c++ {
 			scale := k.scale[item.Channel0+c]
 			switch {
 			case !useRec, c != 0 && c%xmath.DefaultPhasorResync == 0:
 				for i := 0; i < n; i++ {
-					sv, cv := k.sincos(pIdx[i]*scale - off[i])
-					phIm[i], phRe[i] = sv, cv
+					arg[i] = pIdx[i]*scale - off[i]
 				}
+				k.sincosVec(phIm, phRe, arg[:n])
 			case c == 0:
 				// Seeded above.
 			default:

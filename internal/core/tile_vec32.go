@@ -1,0 +1,376 @@
+package core
+
+// The hand-vectorized float32 tile kernels: eight-lane analogues of
+// gridTileVec / degridTileVec driving the AVX2+FMA PS loops in
+// kernels32_amd64.s. A YMM register holds eight float32 lanes, so one
+// rotAccOcts iteration covers eight channels and one conjAccOcts /
+// rotOcts iteration covers eight pixels — twice the elements per
+// instruction of the float64 quad kernels at the same instruction
+// count, which is the whole point of running the paper's
+// single-precision kernels in float32.
+//
+// Phase arguments, sincos seeding and the lane-seeding rotations stay
+// float64 (the same policy as the scalar float32 tiles: a float32
+// phase would lose ~1e-3 rad at the kernels' argument magnitudes);
+// only the stored lane phasors, the rotator and the accumulation
+// narrow to float32. In-register lane rotation then drifts in float32,
+// which is why the resync chunk stays at xmath.DefaultPhasorResync
+// channels: the drift class is xmath.Float32PhasorDriftBound, the same
+// as the scalar float32 recurrence.
+
+import (
+	"repro/internal/grid"
+	"repro/internal/plan"
+	"repro/internal/uvwsim"
+	"repro/internal/xmath"
+)
+
+// chunkOcts is the resync cadence of the float32 vector gridder in
+// channel octs: after chunkOcts iterations of rotAccOcts (8 channels
+// each) the phasor lanes are re-seeded from an exact float64
+// evaluation, preserving the xmath.DefaultPhasorResync drift cadence.
+const chunkOcts = xmath.DefaultPhasorResync / 8
+
+// seedOctLanes fills one 18-wide phasor register block for the oct
+// kernels from an exact chunk-base evaluation (s0, c0) and the
+// per-channel delta phasor (ds, dc): lane k holds exp(i*(base +
+// k*delta)) — lanes 1-3 by single-delta rotations, lanes 4-7 as lanes
+// 0-3 rotated by exp(i*4*delta) — and slots 16/17 hold the
+// eight-channel rotator exp(i*8*delta). Everything runs and is stored
+// in float64; the caller narrows whole blocks at once with
+// xmath.CvtF64F32 (bitwise equal to per-element conversion, an order
+// of magnitude cheaper than the 18 scalar converts this function
+// would otherwise pay per time step).
+func seedOctLanes(ph *[18]float64, s0, c0, ds, dc float64) {
+	ds2, dc2 := 2*ds*dc, dc*dc-ds*ds
+	ds4, dc4 := 2*ds2*dc2, dc2*dc2-ds2*ds2
+	s1, c1 := s0*dc+c0*ds, c0*dc-s0*ds
+	s2, c2 := s1*dc+c1*ds, c1*dc-s1*ds
+	s3, c3 := s2*dc+c2*ds, c2*dc-s2*ds
+	ph[0], ph[8] = s0, c0
+	ph[1], ph[9] = s1, c1
+	ph[2], ph[10] = s2, c2
+	ph[3], ph[11] = s3, c3
+	ph[4], ph[12] = s0*dc4+c0*ds4, c0*dc4-s0*ds4
+	ph[5], ph[13] = s1*dc4+c1*ds4, c1*dc4-s1*ds4
+	ph[6], ph[14] = s2*dc4+c2*ds4, c2*dc4-s2*ds4
+	ph[7], ph[15] = s3*dc4+c3*ds4, c3*dc4-s3*ds4
+	ph[16], ph[17] = 2*ds4*dc4, dc4*dc4-ds4*ds4
+}
+
+// gridTileVec32 is gridTileVec at eight float32 lanes. The eight
+// phasor lanes hold channels c..c+7 (seedOctLanes), and rotAccOcts
+// advances all lanes by exp(i*8*delta) per iteration. Each pixel owns
+// eight accumulators of eight lanes each (scratch b32.vacc), persisted
+// across visibility blocks and folded
+// ((l0+l4)+(l1+l5))+((l2+l6)+(l3+l7)) — the conjAccOcts reduce order —
+// only when the tile finishes, so the per-pixel result is independent
+// of the tile and block decomposition. Leftover channels (nc mod 8)
+// accumulate scalar-style into lane 0 with a float32 rotation, the
+// same error class as the lanes.
+//
+// When a single resync chunk covers every channel and there is no tail
+// (nc a multiple of 8, at most xmath.DefaultPhasorResync — the paper's
+// channel counts), the per-timestep phasor blocks of a whole
+// visibility block are staged into scratch (b32.phv) and swept by one
+// rotAccOctsBlk call per (pixel, block): at small nc the per-call
+// accumulator load/store otherwise costs as much as the useful FMA
+// work. The blocked kernel replays the identical per-(t, channel)
+// operation sequence, so its results are bitwise equal to the per-t
+// form and the decomposition-independence property is untouched. With
+// several chunks or a tail the blocked sweep would reorder the
+// accumulation (all t of chunk 0, then all t of chunk 1, ...), which
+// WOULD break decomposition independence — those shapes keep the
+// per-t calls.
+func gridTileVec32(k *Kernels, item plan.WorkItem, uvw []uvwsim.UVW, sb *scratch, atermP, atermQ []xmath.Matrix2, out *grid.Subgrid, ts *scratch, row0, row1 int) {
+	sg := k.params.SubgridSize
+	nt, nc := item.NrTimesteps, item.NrChannels
+	re, im := visPlanes[float32](sb, nt*nc)
+	uOff, vOff := k.uvOffset(item.X0, item.Y0)
+	wOff := item.WOffset
+	pix0, pix1 := row0*sg, row1*sg
+	vacc := grow(&ts.b32.vacc, 64*(pix1-pix0))
+	for i := range vacc {
+		vacc[i] = 0
+	}
+	no := nc / 8
+	tail0 := 8 * no
+	scale0 := k.scale[item.Channel0]
+	block := k.visBlockSteps(nt, nc)
+	// Batched-seeding layout, per time step of a block: one argument
+	// slot per resync chunk (its base phase), one for the channel tail
+	// when nc mod 8 != 0, and one for the per-channel delta.
+	nchunks := (no + chunkOcts - 1) / chunkOcts
+	seeds := nchunks
+	if tail0 < nc {
+		seeds++
+	}
+	stride := seeds + 1
+	blocked := no > 0 && nchunks == 1 && tail0 == nc
+	// On the AVX-512 tier the blocked kernel runs two pixels per call
+	// (rotAccOctsBlk2, EVEX registers for the second pixel's state),
+	// sharing the visibility loads. Per-pixel results are bitwise equal
+	// to single-pixel calls, and SincosVec's batch independence keeps
+	// the doubled seeding batch bitwise equal too, so pairing parity
+	// cannot leak into the result.
+	pairs := blocked && k.disp.tier >= xmath.SIMDAVX512
+	np1 := 1
+	if pairs {
+		np1 = 2
+	}
+	// ph is the register file handed to rotAccOcts: per-lane phasor
+	// sin [0:8] and cos [8:16], then the eight-channel rotator sin/cos.
+	// phd18 is its float64 staging (see seedOctLanes).
+	var ph [18]float32
+	var phd18 [18]float64
+	for t0 := 0; t0 < nt; t0 += block {
+		t1 := t0 + block
+		if t1 > nt {
+			t1 = nt
+		}
+		bn := t1 - t0
+		arg := growF(&ts.sArg, np1*stride*bn)
+		asn := growF(&ts.sSin, np1*stride*bn)
+		acs := growF(&ts.sCos, np1*stride*bn)
+		var phv []float32
+		var phd []float64
+		if blocked {
+			phv = grow(&ts.b32.phv, np1*18*bn)
+			phd = growF(&ts.sPhd, np1*18*bn)
+		}
+		for i := pix0; i < pix1; i++ {
+			np := 1
+			if pairs && i+1 < pix1 {
+				np = 2
+			}
+			for p := 0; p < np; p++ {
+				l, m, n := k.l[i+p], k.m[i+p], k.n[i+p]
+				phaseOffset := twoPi * (uOff*l + vOff*m + wOff*n)
+				po := p * stride * bn
+				for t := t0; t < t1; t++ {
+					c3 := uvw[t]
+					phaseIndex := c3.U*l + c3.V*m + c3.W*n
+					base := phaseIndex*scale0 - phaseOffset
+					delta := phaseIndex * k.dscale
+					if blocked {
+						// Planar layout (bases, then deltas) so the
+						// vectorized seeding loads contiguously.
+						o := po + (t - t0)
+						arg[o] = base
+						arg[o+bn] = delta
+						continue
+					}
+					o := po + stride*(t-t0)
+					for ci := 0; ci < nchunks; ci++ {
+						arg[o+ci] = base + float64(8*ci*chunkOcts)*delta
+					}
+					if tail0 < nc {
+						arg[o+seeds-1] = base + float64(tail0)*delta
+					}
+					arg[o+seeds] = delta
+				}
+			}
+			na := np * stride * bn
+			k.sincosVec(asn[:na], acs[:na], arg[:na])
+			a := vacc[64*(i-pix0) : 64*(i-pix0)+64]
+			if blocked {
+				for p := 0; p < np; p++ {
+					po := p * stride * bn
+					pb := phd[p*18*bn:]
+					ng := bn / 4
+					if ng > 0 {
+						seedOctsBlk(&pb[0], &asn[po], &acs[po],
+							&asn[po+bn], &acs[po+bn], ng)
+					}
+					for r := 4 * ng; r < bn; r++ {
+						seedOctLanes((*[18]float64)(pb[18*r:]),
+							asn[po+r], acs[po+r], asn[po+bn+r], acs[po+bn+r])
+					}
+				}
+				xmath.CvtF64F32(phv[:np*18*bn], phd[:np*18*bn])
+				jj := t0 * nc
+				// visAdj is 0: with no tail, the channel loop already
+				// leaves the visibility pointers at the next time step.
+				if np == 2 {
+					a2 := vacc[64*(i+1-pix0) : 64*(i+1-pix0)+64]
+					rotAccOctsBlk2(&a[0], &a2[0],
+						&re[0][jj], &im[0][jj], &re[1][jj], &im[1][jj],
+						&re[2][jj], &im[2][jj], &re[3][jj], &im[3][jj],
+						no, &phv[0], &phv[18*bn], bn, 0, 18*4)
+					i++
+				} else {
+					rotAccOctsBlk(&a[0],
+						&re[0][jj], &im[0][jj], &re[1][jj], &im[1][jj],
+						&re[2][jj], &im[2][jj], &re[3][jj], &im[3][jj],
+						no, &phv[0], bn, 0, 18*4)
+				}
+				continue
+			}
+			for t := t0; t < t1; t++ {
+				o := stride * (t - t0)
+				ds, dc := asn[o+seeds], acs[o+seeds]
+				j := t * nc
+				for ci, o0 := 0, 0; o0 < no; ci, o0 = ci+1, o0+chunkOcts {
+					on := no - o0
+					if on > chunkOcts {
+						on = chunkOcts
+					}
+					seedOctLanes(&phd18, asn[o+ci], acs[o+ci], ds, dc)
+					xmath.CvtF64F32(ph[:], phd18[:])
+					jj := j + 8*o0
+					rotAccOcts(&a[0],
+						&re[0][jj], &im[0][jj], &re[1][jj], &im[1][jj],
+						&re[2][jj], &im[2][jj], &re[3][jj], &im[3][jj],
+						on, &ph[0])
+				}
+				if tail0 < nc {
+					sv, cv := float32(asn[o+seeds-1]), float32(acs[o+seeds-1])
+					dsf, dcf := float32(ds), float32(dc)
+					for c := tail0; c < nc; c++ {
+						jj := j + c
+						vr, vi := re[0][jj], im[0][jj]
+						a[0] += vr*cv - vi*sv
+						a[8] += vr*sv + vi*cv
+						vr, vi = re[1][jj], im[1][jj]
+						a[16] += vr*cv - vi*sv
+						a[24] += vr*sv + vi*cv
+						vr, vi = re[2][jj], im[2][jj]
+						a[32] += vr*cv - vi*sv
+						a[40] += vr*sv + vi*cv
+						vr, vi = re[3][jj], im[3][jj]
+						a[48] += vr*cv - vi*sv
+						a[56] += vr*sv + vi*cv
+						sv, cv = sv*dcf+cv*dsf, cv*dcf-sv*dsf
+					}
+				}
+			}
+		}
+	}
+	for i := pix0; i < pix1; i++ {
+		v := vacc[64*(i-pix0) : 64*(i-pix0)+64]
+		// Lane fold ((l0+l4)+(l1+l5))+((l2+l6)+(l3+l7)), matching the
+		// in-register reduce of conjAccOcts; any fixed order preserves
+		// decomposition independence, since the lanes themselves are.
+		var q [8]float32
+		for p := 0; p < 8; p++ {
+			v8 := v[8*p : 8*p+8]
+			q[p] = ((v8[0] + v8[4]) + (v8[1] + v8[5])) + ((v8[2] + v8[6]) + (v8[3] + v8[7]))
+		}
+		sum := xmath.Matrix2{
+			complex(float64(q[0]), float64(q[1])), complex(float64(q[2]), float64(q[3])),
+			complex(float64(q[4]), float64(q[5])), complex(float64(q[6]), float64(q[7])),
+		}
+		k.storePixel(out, i, sum, atermP, atermQ)
+	}
+}
+
+// degridTileVec32 is degridTileVec at eight float32 lanes: the
+// per-pixel phasor rotation pass runs through rotOcts and the
+// conjugate accumulation through conjAccOcts, eight pixels per
+// instruction, with a scalar float32 loop covering the n mod 8 pixel
+// tail. Seed and resync sweeps evaluate in batched float64
+// (Kernels.sincosVec into the scratch sSin/sCos staging) and narrow
+// once into the float32 phasor buffers. Tail pixels and the lane fold
+// combine in a local accumulator before touching dst, preserving the
+// one-addition-per-element property degridSubgridTiled's serial ≡
+// parallel bitwise guarantee rests on.
+func degridTileVec32(k *Kernels, item plan.WorkItem, sb *scratch, uvw []uvwsim.UVW, ts *scratch, row0, row1 int, dst []float32) {
+	sg := k.params.SubgridSize
+	nc := item.NrChannels
+	i0, i1 := row0*sg, row1*sg
+	n := i1 - i0
+	no := n / 8
+	tail0 := 8 * no
+	tb := &ts.b32
+	pIdx := growF(&ts.pIdx, n)
+	phRe := grow(&tb.phRe, n)
+	phIm := grow(&tb.phIm, n)
+	useRec := k.useRecurrence(nc)
+	var dRe, dIm []float32
+	if useRec {
+		dRe = grow(&tb.dRe, n)
+		dIm = grow(&tb.dIm, n)
+	}
+	l, m, nn := k.l[i0:i1], k.m[i0:i1], k.n[i0:i1]
+	pre, pim := visPlanes[float32](sb, sg*sg)
+	off := sb.pOff[i0:i1]
+	var tpre, tpim [4][]float32
+	for p := 0; p < 4; p++ {
+		tpre[p] = pre[p][i0:i1]
+		tpim[p] = pim[p][i0:i1]
+	}
+	scale0 := k.scale[item.Channel0]
+	arg := growF(&ts.sArg, 2*n)
+	asn := growF(&ts.sSin, 2*n)
+	acs := growF(&ts.sCos, 2*n)
+	for t := 0; t < item.NrTimesteps; t++ {
+		c3 := uvw[t]
+		for i := 0; i < n; i++ {
+			pIdx[i] = c3.U*l[i] + c3.V*m[i] + c3.W*nn[i]
+		}
+		if useRec {
+			// Seed the per-pixel phasors at channel 0 and the delta
+			// phasors exp(i*pIdx*dscale) in one batched evaluation, then
+			// narrow into the float32 phasor state.
+			for i := 0; i < n; i++ {
+				arg[i] = pIdx[i]*scale0 - off[i]
+				arg[n+i] = pIdx[i] * k.dscale
+			}
+			k.sincosVec(asn, acs, arg)
+			xmath.CvtF64F32(phIm, asn[:n])
+			xmath.CvtF64F32(phRe, acs[:n])
+			xmath.CvtF64F32(dIm, asn[n:])
+			xmath.CvtF64F32(dRe, acs[n:])
+		}
+		for c := 0; c < nc; c++ {
+			scale := k.scale[item.Channel0+c]
+			switch {
+			case !useRec, c != 0 && c%xmath.DefaultPhasorResync == 0:
+				for i := 0; i < n; i++ {
+					arg[i] = pIdx[i]*scale - off[i]
+				}
+				k.sincosVec(asn, acs, arg[:n])
+				xmath.CvtF64F32(phIm, asn[:n])
+				xmath.CvtF64F32(phRe, acs[:n])
+			case c == 0:
+				// Seeded above.
+			default:
+				if no > 0 {
+					rotOcts(&phRe[0], &phIm[0], &dRe[0], &dIm[0], no)
+				}
+				for i := tail0; i < n; i++ {
+					s, co := phIm[i], phRe[i]
+					phIm[i] = s*dRe[i] + co*dIm[i]
+					phRe[i] = co*dRe[i] - s*dIm[i]
+				}
+			}
+			// As in degridTileVec: dst sees exactly ONE addition per
+			// element per (t, c).
+			var t8 [8]float32
+			for i := tail0; i < n; i++ {
+				cr, ci := phRe[i], -phIm[i] // conjugate phasor
+				vr, vi := tpre[0][i], tpim[0][i]
+				t8[0] += vr*cr - vi*ci
+				t8[1] += vr*ci + vi*cr
+				vr, vi = tpre[1][i], tpim[1][i]
+				t8[2] += vr*cr - vi*ci
+				t8[3] += vr*ci + vi*cr
+				vr, vi = tpre[2][i], tpim[2][i]
+				t8[4] += vr*cr - vi*ci
+				t8[5] += vr*ci + vi*cr
+				vr, vi = tpre[3][i], tpim[3][i]
+				t8[6] += vr*cr - vi*ci
+				t8[7] += vr*ci + vi*cr
+			}
+			if no > 0 {
+				conjAccOcts(&t8[0], &phRe[0], &phIm[0],
+					&tpre[0][0], &tpim[0][0], &tpre[1][0], &tpim[1][0],
+					&tpre[2][0], &tpim[2][0], &tpre[3][0], &tpim[3][0], no)
+			}
+			out := (*[8]float32)(dst[8*(t*nc+c):])
+			for j := 0; j < 8; j++ {
+				out[j] += t8[j]
+			}
+		}
+	}
+}

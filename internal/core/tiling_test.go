@@ -355,7 +355,7 @@ func TestFlaggedVisibilitiesExactZero(t *testing.T) {
 // agree to within twice the recurrence bound (each side's drift) on
 // hardware where the vector kernels run at all.
 func TestVectorKernelsMatchScalar(t *testing.T) {
-	if !vectorKernels {
+	if dispatchFor(xmath.ActiveSIMD()).gridVec64 == nil {
 		t.Skip("vector kernels unavailable on this CPU")
 	}
 	const sg, nt, nc = 16, 10, 21 // nc with a 1-channel tail

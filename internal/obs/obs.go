@@ -92,8 +92,11 @@ const (
 	// float64 kernels.
 	MetricKernelPathTiled64 = "kernel_path_tiled_float64_total"
 	// MetricKernelPathVector counts invocations of the hand-vectorized
-	// AVX2 float64 tile kernels.
+	// AVX2 float64 tile kernels (4 lanes).
 	MetricKernelPathVector = "kernel_path_vector_total"
+	// MetricKernelPathVector32 counts invocations of the hand-vectorized
+	// AVX2 float32 tile kernels (8 lanes).
+	MetricKernelPathVector32 = "kernel_path_vector_float32_total"
 	// MetricShardLocks counts shard-lock acquisitions by the sharded
 	// adder and splitter (one per subgrid x shard overlap).
 	MetricShardLocks = "grid_shard_locks_total"

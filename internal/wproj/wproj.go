@@ -41,11 +41,17 @@ type Config struct {
 	// prolate spheroidal.
 	Taper func(nu float64) float64
 	// Sincos evaluates the w-screen phases during kernel precomputation;
-	// nil selects xmath.SincosAccurate. Unlike the IDG kernels, no
-	// phasor-rotation recurrence can replace it here: the screen phase
-	// -2*pi*w*n(l,m) is not affine in the pixel index (n is a square
-	// root of l and m), so each pixel needs a genuine evaluation —
-	// xmath.SincosFast trades ~2 ulp for roughly half the cost.
+	// nil selects the lane-parallel xmath.SincosVec, which evaluates
+	// whole screen rows per call on the active SIMD tier within the
+	// documented 4-float32-ulp bound (screen phases |2*pi*w*n| stay far
+	// inside its reduced range). Unlike the IDG kernels, no
+	// phasor-rotation recurrence can replace the evaluation here: the
+	// screen phase -2*pi*w*n(l,m) is not affine in the pixel index (n is
+	// a square root of l and m), so each pixel needs a genuine
+	// evaluation. A non-nil evaluator runs scalar, one call per pixel —
+	// the same batch-wraps-scalar rule as the IDG kernels — so callers
+	// can still pin xmath.SincosAccurate (bit-stable reference kernels)
+	// or instrument the evaluation.
 	Sincos xmath.SincosFunc
 }
 
@@ -82,10 +88,10 @@ type kernel struct {
 
 // Gridder grids and degrids visibilities with W-projection.
 type Gridder struct {
-	cfg     Config
-	sincos  xmath.SincosFunc
-	kernels map[int]*kernel // by W-plane index (w >= 0; negative w uses conjugate symmetry)
-	norm    float64         // global kernel normalization
+	cfg       Config
+	sincosVec func(sin, cos, x []float64) // batched w-screen phase evaluator
+	kernels   map[int]*kernel             // by W-plane index (w >= 0; negative w uses conjugate symmetry)
+	norm      float64                     // global kernel normalization
 }
 
 // NewGridder precomputes the kernels for all W-planes.
@@ -96,9 +102,16 @@ func NewGridder(cfg Config) (*Gridder, error) {
 	if cfg.Taper == nil {
 		cfg.Taper = taper.Spheroidal
 	}
-	g := &Gridder{cfg: cfg, sincos: cfg.Sincos, kernels: make(map[int]*kernel)}
-	if g.sincos == nil {
-		g.sincos = xmath.SincosAccurate
+	g := &Gridder{cfg: cfg, kernels: make(map[int]*kernel)}
+	if cfg.Sincos != nil {
+		fn := cfg.Sincos
+		g.sincosVec = func(sin, cos, x []float64) {
+			for i, v := range x {
+				sin[i], cos[i] = fn(v)
+			}
+		}
+	} else {
+		g.sincosVec = xmath.SincosVec
 	}
 	nPlanes := 1
 	if cfg.WStepLambda > 0 {
@@ -145,9 +158,24 @@ func (g *Gridder) computeKernel(w float64) *kernel {
 	m := 2 * nw // image-domain resolution: twice the kernel support
 	s := m * ov // padded FFT size
 	screen := make([]complex128, s*s)
+	// One batched sincos evaluation per screen row: stage the row's
+	// phases (zero for pixels outside the unit sphere, skipped on the
+	// consume pass), evaluate lane-parallel, then apply the taper.
+	args := make([]float64, m)
+	sins := make([]float64, m)
+	coss := make([]float64, m)
 	for y := 0; y < m; y++ {
 		nuY := float64(y-m/2) / float64(m/2)
 		mm := nuY * g.cfg.ImageSize / 2
+		for x := 0; x < m; x++ {
+			nuX := float64(x-m/2) / float64(m/2)
+			ll := nuX * g.cfg.ImageSize / 2
+			args[x] = 0
+			if ll*ll+mm*mm < 1 {
+				args[x] = -2 * math.Pi * w * sky.N(ll, mm)
+			}
+		}
+		g.sincosVec(sins, coss, args)
 		for x := 0; x < m; x++ {
 			nuX := float64(x-m/2) / float64(m/2)
 			ll := nuX * g.cfg.ImageSize / 2
@@ -155,12 +183,10 @@ func (g *Gridder) computeKernel(w float64) *kernel {
 				continue
 			}
 			tap := g.cfg.Taper(nuX) * g.cfg.Taper(nuY)
-			phase := -2 * math.Pi * w * sky.N(ll, mm)
-			sin, cos := g.sincos(phase)
 			// Embed centered in the padded array.
 			sy := y - m/2 + s/2
 			sx := x - m/2 + s/2
-			screen[sy*s+sx] = complex(tap*cos, tap*sin)
+			screen[sy*s+sx] = complex(tap*coss[x], tap*sins[x])
 		}
 	}
 	plan := fft.NewPlan2D(s, s)

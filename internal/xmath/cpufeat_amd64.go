@@ -41,3 +41,31 @@ func detectAVX2FMA() bool {
 // FMA instruction sets the hand-vectorized kernel loops in
 // internal/core require. Always false off amd64.
 func HasAVX2FMA() bool { return hasAVX2FMA }
+
+// detectedSIMD is the widest tier the host supports (see SIMDTier).
+var detectedSIMD = detectSIMD()
+
+func detectSIMD() SIMDTier {
+	if !hasAVX2FMA {
+		return SIMDScalar
+	}
+	// AVX-512 tier: the foundation plus the DQ/BW/VL extensions every
+	// mainstream AVX-512 part ships (leaf 7 EBX), and the OS must save
+	// opmask + upper-ZMM + hi16-ZMM state (XCR0 bits 5..7) or EVEX
+	// instructions fault.
+	_, ebx7, _, _ := cpuid(7, 0)
+	const (
+		avx512fBit  = 1 << 16
+		avx512dqBit = 1 << 17
+		avx512bwBit = 1 << 30
+		avx512vlBit = 1 << 31
+		need        = avx512fBit | avx512dqBit | avx512bwBit | avx512vlBit
+	)
+	if ebx7&need != need {
+		return SIMDAVX2
+	}
+	if eax, _ := xgetbv(); eax&0xe6 != 0xe6 {
+		return SIMDAVX2
+	}
+	return SIMDAVX512
+}

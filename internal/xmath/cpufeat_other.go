@@ -6,3 +6,11 @@ package xmath
 // instruction sets the hand-vectorized kernel loops in internal/core
 // require. Always false off amd64.
 func HasAVX2FMA() bool { return false }
+
+// hasAVX2FMA mirrors the amd64 detection variable so shared code
+// (CvtF64F32) compiles portably; constant false lets the compiler drop
+// the vector branch entirely.
+const hasAVX2FMA = false
+
+// detectedSIMD: only the portable kernels exist off amd64.
+const detectedSIMD = SIMDScalar

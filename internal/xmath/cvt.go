@@ -1,0 +1,23 @@
+package xmath
+
+// CvtF64F32 narrows src into dst element-wise (dst[i] = float32(src[i])),
+// IEEE round-to-nearest-even — bitwise identical to the Go conversion.
+// The two slices must have equal length. On amd64 with AVX the bulk of
+// the work runs four elements per VCVTPD2PS instruction; the kernel
+// hot paths narrow whole phasor blocks in one call instead of paying a
+// scalar convert per element.
+func CvtF64F32(dst []float32, src []float64) {
+	if len(dst) != len(src) {
+		panic("xmath: CvtF64F32 length mismatch")
+	}
+	n := len(src)
+	i := 0
+	if hasCvtASM && hasAVX2FMA && n >= 4 {
+		nq := n / 4
+		cvtQuadsPDPS(&dst[0], &src[0], nq)
+		i = 4 * nq
+	}
+	for ; i < n; i++ {
+		dst[i] = float32(src[i])
+	}
+}

@@ -1,0 +1,13 @@
+//go:build amd64
+
+package xmath
+
+// hasCvtASM gates the assembled VCVTPD2PS loop; it still requires the
+// runtime hasAVX2FMA check (the instruction is VEX-encoded).
+const hasCvtASM = true
+
+// cvtQuadsPDPS narrows nq quads of float64 into float32, four
+// elements per iteration; cvt_amd64.s.
+//
+//go:noescape
+func cvtQuadsPDPS(dst *float32, src *float64, nq int)

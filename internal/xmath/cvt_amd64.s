@@ -1,0 +1,23 @@
+// Bulk float64 -> float32 narrowing (CvtF64F32). VCVTPD2PS rounds to
+// nearest even, exactly like the Go scalar conversion, so the
+// vectorized loop is bitwise equal to the fallback.
+
+#include "textflag.h"
+
+// func cvtQuadsPDPS(dst *float32, src *float64, nq int)
+TEXT ·cvtQuadsPDPS(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ nq+16(FP), CX
+
+quadloop:
+	VMOVUPD    (SI), Y0
+	VCVTPD2PSY Y0, X0
+	VMOVUPS    X0, (DI)
+	ADDQ       $32, SI
+	ADDQ       $16, DI
+	DECQ       CX
+	JNZ        quadloop
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package xmath
+
+// hasCvtASM is false off amd64: CvtF64F32 runs its scalar loop.
+const hasCvtASM = false
+
+func cvtQuadsPDPS(dst *float32, src *float64, nq int) {
+	panic("xmath: cvtQuadsPDPS without AVX")
+}

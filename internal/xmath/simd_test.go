@@ -1,0 +1,73 @@
+package xmath
+
+import "testing"
+
+func TestParseSIMDTier(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SIMDTier
+		ok   bool
+	}{
+		{"scalar", SIMDScalar, true},
+		{"off", SIMDScalar, true},
+		{"none", SIMDScalar, true},
+		{"avx2", SIMDAVX2, true},
+		{"AVX2", SIMDAVX2, true},
+		{" avx512 ", SIMDAVX512, true},
+		{"", SIMDScalar, false},
+		{"sse9", SIMDScalar, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSIMDTier(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Errorf("ParseSIMDTier(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestSIMDTierFromEnv(t *testing.T) {
+	cases := []struct {
+		detected SIMDTier
+		env      string
+		want     SIMDTier
+	}{
+		{SIMDAVX512, "", SIMDAVX512},           // no override
+		{SIMDAVX512, "avx2", SIMDAVX2},         // lower
+		{SIMDAVX512, "scalar", SIMDScalar},     // lower to portable
+		{SIMDAVX2, "avx512", SIMDAVX2},         // cannot raise above detection
+		{SIMDScalar, "avx2", SIMDScalar},       // likewise
+		{SIMDAVX512, "not-a-tier", SIMDAVX512}, // unparseable ignored
+		{SIMDAVX2, "off", SIMDScalar},          // alias
+	}
+	for _, c := range cases {
+		if got := simdTierFromEnv(c.detected, c.env); got != c.want {
+			t.Errorf("simdTierFromEnv(%v, %q) = %v, want %v", c.detected, c.env, got, c.want)
+		}
+	}
+}
+
+func TestSIMDTierOrderingAndStrings(t *testing.T) {
+	if !(SIMDScalar < SIMDAVX2 && SIMDAVX2 < SIMDAVX512) {
+		t.Fatal("tier ordering broken")
+	}
+	for tier, want := range map[SIMDTier]string{
+		SIMDScalar: "scalar", SIMDAVX2: "avx2", SIMDAVX512: "avx512",
+	} {
+		if tier.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(tier), tier.String(), want)
+		}
+		rt, err := ParseSIMDTier(tier.String())
+		if err != nil || rt != tier {
+			t.Errorf("ParseSIMDTier(%v.String()) = %v, %v", tier, rt, err)
+		}
+	}
+}
+
+func TestActiveSIMDWithinDetected(t *testing.T) {
+	if a, d := ActiveSIMD(), DetectedSIMD(); a > d {
+		t.Fatalf("active tier %v exceeds detected %v", a, d)
+	}
+	if DetectedSIMD() >= SIMDAVX2 && !HasAVX2FMA() {
+		t.Fatal("detected AVX2 tier without HasAVX2FMA")
+	}
+}

@@ -1,0 +1,35 @@
+//go:build amd64
+
+package xmath
+
+// sincosQuads evaluates nq groups of four lanes with AVX2+FMA; see
+// sincos_vec_amd64.s. Buffers must hold 4*nq elements, nq >= 1.
+//
+//go:noescape
+func sincosQuads(sin, cos, x *float64, nq int)
+
+// sincosOcts evaluates no groups of eight lanes with AVX-512F; buffers
+// must hold 8*no elements, no >= 1.
+//
+//go:noescape
+func sincosOcts(sin, cos, x *float64, no int)
+
+// sincosVecTier runs the widest kernel the tier allows and finishes
+// the remainder with the bit-identical scalar sequence. Lane position
+// never changes a result, so the split points are invisible.
+func sincosVecTier(tier SIMDTier, sin, cos, x []float64) {
+	n := len(x)
+	i := 0
+	if tier >= SIMDAVX512 {
+		if no := n / 8; no > 0 {
+			sincosOcts(&sin[0], &cos[0], &x[0], no)
+			i = 8 * no
+		}
+	} else if tier >= SIMDAVX2 {
+		if nq := n / 4; nq > 0 {
+			sincosQuads(&sin[0], &cos[0], &x[0], nq)
+			i = 4 * nq
+		}
+	}
+	sincosVecScalar(sin[i:n], cos[i:n], x[i:n])
+}

@@ -1,0 +1,233 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Lane-parallel SincosFast. Both routines compute, per lane, the exact
+// operation sequence of sincosFastFMA (sincos_vec.go):
+//
+//	k  = roundeven(x * invTwoPi)
+//	r  = fma(-k, twoPiA, x); r = fma(-k, twoPiB, r)   Cody-Waite
+//	fold r into [-pi/2, pi/2], remembering a cos sign flip
+//	sin = fma(sinpoly(z), r*z, r)           z = r*r
+//	cos = +-fma(cospoly(z), z*z, 1 - 0.5*z)
+//
+// so vector and scalar results are bitwise identical. Leaf functions:
+// NOSPLIT, no calls, VZEROUPPER before returning to Go code.
+
+// Scalar constants (8 bytes each): broadcast sources for both widths.
+DATA sincosKS<>+0x00(SB)/8, $0x3fc45f306dc9c883 // invTwoPi
+DATA sincosKS<>+0x08(SB)/8, $0x401921fb54442d18 // twoPiA
+DATA sincosKS<>+0x10(SB)/8, $0x3cb1a62633145c07 // twoPiB
+DATA sincosKS<>+0x18(SB)/8, $0x3ff921fb54442d18 // pi/2
+DATA sincosKS<>+0x20(SB)/8, $0x400921fb54442d18 // pi
+DATA sincosKS<>+0x28(SB)/8, $0x8000000000000000 // sign bit
+DATA sincosKS<>+0x30(SB)/8, $0x3de5d93a5acfd57c // s6
+DATA sincosKS<>+0x38(SB)/8, $0xbda8fae9be8838d4 // c6
+DATA sincosKS<>+0x40(SB)/8, $0xbe5ae5e68a2b9ceb // s5
+DATA sincosKS<>+0x48(SB)/8, $0x3ec71de357b1fe7d // s4
+DATA sincosKS<>+0x50(SB)/8, $0xbf2a01a019c161d5 // s3
+DATA sincosKS<>+0x58(SB)/8, $0x3f8111111110f8a6 // s2
+DATA sincosKS<>+0x60(SB)/8, $0xbfc5555555555549 // s1
+DATA sincosKS<>+0x68(SB)/8, $0x3e21ee9ebdb4b1c4 // c5
+DATA sincosKS<>+0x70(SB)/8, $0xbe927e4f809c52ad // c4
+DATA sincosKS<>+0x78(SB)/8, $0x3efa01a019cb1590 // c3
+DATA sincosKS<>+0x80(SB)/8, $0xbf56c16c16c15177 // c2
+DATA sincosKS<>+0x88(SB)/8, $0x3fa555555555554c // c1
+DATA sincosKS<>+0x90(SB)/8, $0x3fe0000000000000 // 0.5
+DATA sincosKS<>+0x98(SB)/8, $0x3ff0000000000000 // 1.0
+GLOBL sincosKS<>(SB), RODATA|NOPTR, $160
+
+// 4-lane replicas for AVX2 full-width memory operands (VEX encoding
+// has no embedded broadcast).
+DATA sincosK4<>+0x000(SB)/8, $0xbe5ae5e68a2b9ceb // s5 x4
+DATA sincosK4<>+0x008(SB)/8, $0xbe5ae5e68a2b9ceb
+DATA sincosK4<>+0x010(SB)/8, $0xbe5ae5e68a2b9ceb
+DATA sincosK4<>+0x018(SB)/8, $0xbe5ae5e68a2b9ceb
+DATA sincosK4<>+0x020(SB)/8, $0x3ec71de357b1fe7d // s4 x4
+DATA sincosK4<>+0x028(SB)/8, $0x3ec71de357b1fe7d
+DATA sincosK4<>+0x030(SB)/8, $0x3ec71de357b1fe7d
+DATA sincosK4<>+0x038(SB)/8, $0x3ec71de357b1fe7d
+DATA sincosK4<>+0x040(SB)/8, $0xbf2a01a019c161d5 // s3 x4
+DATA sincosK4<>+0x048(SB)/8, $0xbf2a01a019c161d5
+DATA sincosK4<>+0x050(SB)/8, $0xbf2a01a019c161d5
+DATA sincosK4<>+0x058(SB)/8, $0xbf2a01a019c161d5
+DATA sincosK4<>+0x060(SB)/8, $0x3f8111111110f8a6 // s2 x4
+DATA sincosK4<>+0x068(SB)/8, $0x3f8111111110f8a6
+DATA sincosK4<>+0x070(SB)/8, $0x3f8111111110f8a6
+DATA sincosK4<>+0x078(SB)/8, $0x3f8111111110f8a6
+DATA sincosK4<>+0x080(SB)/8, $0xbfc5555555555549 // s1 x4
+DATA sincosK4<>+0x088(SB)/8, $0xbfc5555555555549
+DATA sincosK4<>+0x090(SB)/8, $0xbfc5555555555549
+DATA sincosK4<>+0x098(SB)/8, $0xbfc5555555555549
+DATA sincosK4<>+0x0a0(SB)/8, $0x3e21ee9ebdb4b1c4 // c5 x4
+DATA sincosK4<>+0x0a8(SB)/8, $0x3e21ee9ebdb4b1c4
+DATA sincosK4<>+0x0b0(SB)/8, $0x3e21ee9ebdb4b1c4
+DATA sincosK4<>+0x0b8(SB)/8, $0x3e21ee9ebdb4b1c4
+DATA sincosK4<>+0x0c0(SB)/8, $0xbe927e4f809c52ad // c4 x4
+DATA sincosK4<>+0x0c8(SB)/8, $0xbe927e4f809c52ad
+DATA sincosK4<>+0x0d0(SB)/8, $0xbe927e4f809c52ad
+DATA sincosK4<>+0x0d8(SB)/8, $0xbe927e4f809c52ad
+DATA sincosK4<>+0x0e0(SB)/8, $0x3efa01a019cb1590 // c3 x4
+DATA sincosK4<>+0x0e8(SB)/8, $0x3efa01a019cb1590
+DATA sincosK4<>+0x0f0(SB)/8, $0x3efa01a019cb1590
+DATA sincosK4<>+0x0f8(SB)/8, $0x3efa01a019cb1590
+DATA sincosK4<>+0x100(SB)/8, $0xbf56c16c16c15177 // c2 x4
+DATA sincosK4<>+0x108(SB)/8, $0xbf56c16c16c15177
+DATA sincosK4<>+0x110(SB)/8, $0xbf56c16c16c15177
+DATA sincosK4<>+0x118(SB)/8, $0xbf56c16c16c15177
+DATA sincosK4<>+0x120(SB)/8, $0x3fa555555555554c // c1 x4
+DATA sincosK4<>+0x128(SB)/8, $0x3fa555555555554c
+DATA sincosK4<>+0x130(SB)/8, $0x3fa555555555554c
+DATA sincosK4<>+0x138(SB)/8, $0x3fa555555555554c
+DATA sincosK4<>+0x140(SB)/8, $0x3fe0000000000000 // 0.5 x4
+DATA sincosK4<>+0x148(SB)/8, $0x3fe0000000000000
+DATA sincosK4<>+0x150(SB)/8, $0x3fe0000000000000
+DATA sincosK4<>+0x158(SB)/8, $0x3fe0000000000000
+DATA sincosK4<>+0x160(SB)/8, $0x3ff0000000000000 // 1.0 x4
+DATA sincosK4<>+0x168(SB)/8, $0x3ff0000000000000
+DATA sincosK4<>+0x170(SB)/8, $0x3ff0000000000000
+DATA sincosK4<>+0x178(SB)/8, $0x3ff0000000000000
+GLOBL sincosK4<>(SB), RODATA|NOPTR, $384
+
+// func sincosQuads(sin, cos, x *float64, nq int)
+//
+// Four lanes per iteration, AVX2+FMA.
+TEXT ·sincosQuads(SB), NOSPLIT, $0-32
+	MOVQ sin+0(FP), DI
+	MOVQ cos+8(FP), SI
+	MOVQ x+16(FP), DX
+	MOVQ nq+24(FP), CX
+
+	VBROADCASTSD sincosKS<>+0x00(SB), Y10 // invTwoPi
+	VBROADCASTSD sincosKS<>+0x08(SB), Y11 // twoPiA
+	VBROADCASTSD sincosKS<>+0x10(SB), Y12 // twoPiB
+	VBROADCASTSD sincosKS<>+0x18(SB), Y13 // pi/2
+	VBROADCASTSD sincosKS<>+0x20(SB), Y14 // pi
+	VBROADCASTSD sincosKS<>+0x28(SB), Y15 // sign bit
+
+quadloop:
+	VMOVUPD      (DX), Y0       // x
+	VMULPD       Y10, Y0, Y1
+	VROUNDPD     $0, Y1, Y1     // k = roundeven(x*invTwoPi)
+	VMOVAPD      Y0, Y2
+	VFNMADD231PD Y11, Y1, Y2    // r = x - k*twoPiA
+	VFNMADD231PD Y12, Y1, Y2    // r -= k*twoPiB
+
+	// Quadrant fold: both masks test the unfolded r (the conditions
+	// are mutually exclusive), then blend in pi-r / -pi-r.
+	VCMPPD    $0x1e, Y13, Y2, Y3 // m1 = r > pi/2 (GT_OQ)
+	VXORPD    Y15, Y13, Y5       // -pi/2
+	VCMPPD    $0x11, Y5, Y2, Y5  // m2 = r < -pi/2 (LT_OQ)
+	VSUBPD    Y2, Y14, Y4        // pi - r
+	VBLENDVPD Y3, Y4, Y2, Y9
+	VXORPD    Y15, Y14, Y4       // -pi
+	VSUBPD    Y2, Y4, Y4         // -pi - r
+	VBLENDVPD Y5, Y4, Y9, Y2     // r folded
+	VORPD     Y5, Y3, Y3
+	VANDPD    Y15, Y3, Y3        // cos sign-flip mask
+
+	VMULPD Y2, Y2, Y6           // z = r*r
+
+	// sin = fma(((((s6*z+s5)*z+s4)*z+s3)*z+s2)*z+s1, r*z, r)
+	VBROADCASTSD sincosKS<>+0x30(SB), Y7
+	VFMADD213PD  sincosK4<>+0x000(SB), Y6, Y7
+	VFMADD213PD  sincosK4<>+0x020(SB), Y6, Y7
+	VFMADD213PD  sincosK4<>+0x040(SB), Y6, Y7
+	VFMADD213PD  sincosK4<>+0x060(SB), Y6, Y7
+	VFMADD213PD  sincosK4<>+0x080(SB), Y6, Y7
+	VMULPD       Y6, Y2, Y4     // r*z
+	VFMADD213PD  Y2, Y4, Y7     // sin
+
+	// cos = +-fma(((((c6*z+c5)*z+c4)*z+c3)*z+c2)*z+c1, z*z, 1-0.5z)
+	VBROADCASTSD sincosKS<>+0x38(SB), Y8
+	VFMADD213PD  sincosK4<>+0x0a0(SB), Y6, Y8
+	VFMADD213PD  sincosK4<>+0x0c0(SB), Y6, Y8
+	VFMADD213PD  sincosK4<>+0x0e0(SB), Y6, Y8
+	VFMADD213PD  sincosK4<>+0x100(SB), Y6, Y8
+	VFMADD213PD  sincosK4<>+0x120(SB), Y6, Y8
+	VMULPD       sincosK4<>+0x140(SB), Y6, Y4 // 0.5*z
+	VMOVUPD      sincosK4<>+0x160(SB), Y9
+	VSUBPD       Y4, Y9, Y4     // 1 - 0.5*z
+	VMULPD       Y6, Y6, Y6     // z*z
+	VFMADD213PD  Y4, Y6, Y8     // cos (unsigned)
+	VXORPD       Y3, Y8, Y8     // apply quadrant sign
+
+	VMOVUPD Y7, (DI)
+	VMOVUPD Y8, (SI)
+	ADDQ    $32, DX
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	DECQ    CX
+	JNZ     quadloop
+	VZEROUPPER
+	RET
+
+// func sincosOcts(sin, cos, x *float64, no int)
+//
+// Eight lanes per iteration, AVX-512F (compares into opmasks, folds
+// via merge-masked moves, coefficients as embedded broadcasts).
+TEXT ·sincosOcts(SB), NOSPLIT, $0-32
+	MOVQ sin+0(FP), DI
+	MOVQ cos+8(FP), SI
+	MOVQ x+16(FP), DX
+	MOVQ no+24(FP), CX
+
+	VBROADCASTSD sincosKS<>+0x00(SB), Z10 // invTwoPi
+	VBROADCASTSD sincosKS<>+0x08(SB), Z11 // twoPiA
+	VBROADCASTSD sincosKS<>+0x10(SB), Z12 // twoPiB
+	VBROADCASTSD sincosKS<>+0x18(SB), Z13 // pi/2
+	VBROADCASTSD sincosKS<>+0x20(SB), Z14 // pi
+	VBROADCASTSD sincosKS<>+0x28(SB), Z15 // sign bit
+	VXORPD       Z15, Z13, Z16            // -pi/2
+	VXORPD       Z15, Z14, Z17            // -pi
+	VBROADCASTSD sincosKS<>+0x98(SB), Z18 // 1.0
+	VBROADCASTSD sincosKS<>+0x90(SB), Z19 // 0.5
+
+octloop:
+	VMOVUPD      (DX), Z0
+	VMULPD       Z10, Z0, Z1
+	VRNDSCALEPD  $0, Z1, Z1     // k = roundeven(x*invTwoPi)
+	VMOVAPD      Z0, Z2
+	VFNMADD231PD Z11, Z1, Z2    // r = x - k*twoPiA
+	VFNMADD231PD Z12, Z1, Z2    // r -= k*twoPiB
+
+	VCMPPD  $0x1e, Z13, Z2, K1  // m1 = r > pi/2
+	VCMPPD  $0x11, Z16, Z2, K2  // m2 = r < -pi/2
+	VSUBPD  Z2, Z14, Z4         // pi - r
+	VSUBPD  Z2, Z17, Z5         // -pi - r
+	VMOVAPD Z4, K1, Z2
+	VMOVAPD Z5, K2, Z2          // r folded
+	KORW    K1, K2, K1          // cos sign-flip lanes
+
+	VMULPD Z2, Z2, Z6           // z = r*r
+
+	VBROADCASTSD     sincosKS<>+0x30(SB), Z7 // s6
+	VFMADD213PD.BCST sincosKS<>+0x40(SB), Z6, Z7
+	VFMADD213PD.BCST sincosKS<>+0x48(SB), Z6, Z7
+	VFMADD213PD.BCST sincosKS<>+0x50(SB), Z6, Z7
+	VFMADD213PD.BCST sincosKS<>+0x58(SB), Z6, Z7
+	VFMADD213PD.BCST sincosKS<>+0x60(SB), Z6, Z7
+	VMULPD           Z6, Z2, Z4 // r*z
+	VFMADD213PD      Z2, Z4, Z7 // sin
+
+	VBROADCASTSD     sincosKS<>+0x38(SB), Z8 // c6
+	VFMADD213PD.BCST sincosKS<>+0x68(SB), Z6, Z8
+	VFMADD213PD.BCST sincosKS<>+0x70(SB), Z6, Z8
+	VFMADD213PD.BCST sincosKS<>+0x78(SB), Z6, Z8
+	VFMADD213PD.BCST sincosKS<>+0x80(SB), Z6, Z8
+	VFMADD213PD.BCST sincosKS<>+0x88(SB), Z6, Z8
+	VMULPD           Z19, Z6, Z4 // 0.5*z
+	VSUBPD           Z4, Z18, Z4 // 1 - 0.5*z
+	VMULPD           Z6, Z6, Z6  // z*z
+	VFMADD213PD      Z4, Z6, Z8  // cos (unsigned)
+	VXORPD           Z15, Z8, K1, Z8 // negate folded lanes
+
+	VMOVUPD Z7, (DI)
+	VMOVUPD Z8, (SI)
+	ADDQ    $64, DX
+	ADDQ    $64, DI
+	ADDQ    $64, SI
+	DECQ    CX
+	JNZ     octloop
+	VZEROUPPER
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package xmath
+
+// sincosVecTier off amd64: every tier is the portable loop (the tier
+// argument is already clamped to SIMDScalar by detection).
+func sincosVecTier(_ SIMDTier, sin, cos, x []float64) {
+	sincosVecScalar(sin, cos, x)
+}

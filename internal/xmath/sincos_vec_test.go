@@ -1,0 +1,154 @@
+package xmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// hostTiers enumerates every tier this host can actually execute, so
+// the per-tier property tests below cover the full dispatch matrix on
+// capable hardware and degrade to the scalar row elsewhere. Forcing a
+// tier through IDG_SIMD exercises the same per-tier entry points.
+func hostTiers() []SIMDTier {
+	tiers := []SIMDTier{SIMDScalar}
+	for t := SIMDAVX2; t <= DetectedSIMD(); t++ {
+		tiers = append(tiers, t)
+	}
+	return tiers
+}
+
+// TestSincosVecAccuracy: the documented SincosFast bound — 4 float32
+// ulps against math.Sincos over the kernel argument range — extends to
+// every lane width.
+func TestSincosVecAccuracy(t *testing.T) {
+	const n = 200001
+	const limit = 1e4
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = -limit + 2*limit*float64(i)/float64(n-1)
+	}
+	sin := make([]float64, n)
+	cos := make([]float64, n)
+	for _, tier := range hostTiers() {
+		sincosVecTier(tier, sin, cos, x)
+		maxErr := 0.0
+		for i, v := range x {
+			sr, cr := math.Sincos(v)
+			if d := math.Abs(sin[i] - sr); d > maxErr {
+				maxErr = d
+			}
+			if d := math.Abs(cos[i] - cr); d > maxErr {
+				maxErr = d
+			}
+		}
+		if maxErr > 4*6e-8 {
+			t.Errorf("tier %v: max error %g exceeds 4 float32 ulps", tier, maxErr)
+		}
+	}
+}
+
+// TestSincosVecTierBitwise: every tier, every batch size and every
+// lane position produces bit-identical results to the portable scalar
+// sequence — the property that makes kernel output independent of the
+// IDG_SIMD override and of batch chopping.
+func TestSincosVecTierBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 64, 253} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = (rng.Float64() - 0.5) * 2e4
+		}
+		// Sprinkle exact fold/reduction boundaries.
+		if n >= 4 {
+			x[0], x[1], x[2], x[3] = 0, math.Pi/2, -math.Pi/2, math.Pi
+		}
+		wantSin := make([]float64, n)
+		wantCos := make([]float64, n)
+		for i, v := range x {
+			wantSin[i], wantCos[i] = sincosFastFMA(v)
+		}
+		sin := make([]float64, n)
+		cos := make([]float64, n)
+		for _, tier := range hostTiers() {
+			for i := range sin {
+				sin[i], cos[i] = math.NaN(), math.NaN()
+			}
+			sincosVecTier(tier, sin, cos, x)
+			for i := range x {
+				if math.Float64bits(sin[i]) != math.Float64bits(wantSin[i]) ||
+					math.Float64bits(cos[i]) != math.Float64bits(wantCos[i]) {
+					t.Fatalf("tier %v, n=%d, i=%d, x=%g: got (%x, %x), want (%x, %x)",
+						tier, n, i, x[i],
+						math.Float64bits(sin[i]), math.Float64bits(cos[i]),
+						math.Float64bits(wantSin[i]), math.Float64bits(wantCos[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestSincosVecMatchesScalarFastClass: the fused sequence stays in the
+// same error class as scalar SincosFast (they differ only in the last
+// float64 bits, far below the float32-ulp bound both document).
+func TestSincosVecMatchesScalarFastClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		x := (rng.Float64() - 0.5) * 2e4
+		s1, c1 := sincosFastFMA(x)
+		s2, c2 := SincosFast(x)
+		if math.Abs(s1-s2) > 1e-9 || math.Abs(c1-c2) > 1e-9 {
+			t.Fatalf("x=%g: fused (%g, %g) vs scalar (%g, %g)", x, s1, c1, s2, c2)
+		}
+	}
+}
+
+func TestSincosFastFixedWidths(t *testing.T) {
+	var x4, s4, c4 [4]float64
+	var x8, s8, c8 [8]float64
+	for i := range x8 {
+		x8[i] = float64(i)*1.7 - 5
+	}
+	copy(x4[:], x8[:4])
+	SincosFast4(&s4, &c4, &x4)
+	SincosFast8(&s8, &c8, &x8)
+	for i := 0; i < 8; i++ {
+		ws, wc := sincosFastFMA(x8[i])
+		if s8[i] != ws || c8[i] != wc {
+			t.Fatalf("SincosFast8 lane %d: got (%g, %g), want (%g, %g)", i, s8[i], c8[i], ws, wc)
+		}
+		if i < 4 && (s4[i] != ws || c4[i] != wc) {
+			t.Fatalf("SincosFast4 lane %d mismatch", i)
+		}
+	}
+}
+
+func TestSincosVecShortOutputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for short output slice")
+		}
+	}()
+	SincosVec(make([]float64, 2), make([]float64, 4), make([]float64, 4))
+}
+
+func benchSincosVec(b *testing.B, tier SIMDTier, n int) {
+	if tier > DetectedSIMD() {
+		b.Skipf("tier %v not supported here", tier)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) * 0.37
+	}
+	sin := make([]float64, n)
+	cos := make([]float64, n)
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sincosVecTier(tier, sin, cos, x)
+	}
+}
+
+func BenchmarkSincosVecScalar(b *testing.B) { benchSincosVec(b, SIMDScalar, 192) }
+func BenchmarkSincosVecAVX2(b *testing.B)   { benchSincosVec(b, SIMDAVX2, 192) }
+func BenchmarkSincosVecAVX512(b *testing.B) { benchSincosVec(b, SIMDAVX512, 192) }

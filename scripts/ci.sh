@@ -9,10 +9,21 @@ set -eux
 
 go vet ./...
 go build ./...
+# Cross-compile check: the SIMD dispatch layer must keep the pure-Go
+# fallbacks buildable on a register-poor non-amd64 target (the asm
+# kernels are amd64-only; arm64 exercises the !amd64 stub files).
+GOOS=linux GOARCH=arm64 go build ./...
 # Fast-fail race pass over the concurrency-heavy packages (pipelines,
 # fault tolerance, the lock-free metrics/tracer) in short mode before
 # paying for the full raced suite below.
 go test -race -short ./internal/core/... ./internal/faulttol/... ./internal/obs/... ./internal/checkpoint/...
+# The same short race pass with the SIMD tier forced down via the
+# IDG_SIMD override: the scalar tier runs the generic Go tiles, the
+# avx2 tier runs the 4/8-lane AVX2 kernels on hosts whose detected
+# tier is avx512 (the override can only lower the tier, so these are
+# no-ops on narrower hosts rather than failures).
+IDG_SIMD=scalar go test -race -short ./internal/core/ ./internal/xmath/
+IDG_SIMD=avx2 go test -race -short ./internal/core/ ./internal/xmath/
 go test -race ./...
 go test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
 # Kill-and-resume chaos harness and the checkpoint round-trip golden
@@ -22,13 +33,19 @@ go test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
 go test -race -run 'Facade|Chaos|Cancel|Shard|Soak|Streamed|Checkpoint|Resume|Kill' . ./internal/core/ ./internal/checkpoint/
 scripts/bench.sh -short
 
-# Performance regression gate: briefly re-measure the two kernel
-# benchmarks and compare their MVis/s against BENCH_kernels.json;
-# a slowdown beyond BENCH_THRESHOLD percent (default 10) fails CI.
-# -allow-missing because this is a deliberate subset run: the baseline
-# holds all six kernel benchmarks, CI re-measures only these two.
+# Performance regression gate: briefly re-measure the four kernel
+# benchmarks (both precisions) and compare their MVis/s against
+# BENCH_kernels.json; a slowdown beyond BENCH_THRESHOLD percent
+# (default 10) fails CI. The float32 kernels are in the gate because
+# they are the SIMD dispatch layer's reason to exist: losing the
+# vector path (a dispatch regression) roughly halves their MVis/s,
+# far beyond any threshold. -allow-missing because this is a
+# deliberate subset run: the baseline holds the full bench.sh set, CI
+# re-measures only the kernels. -count 3 because benchjson gates on
+# the best duplicate run — single-sample minima on a shared CI box
+# measure scheduling noise, not regressions.
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
-go test -run '^$' -bench 'BenchmarkGridderKernel$|BenchmarkDegridderKernel$' -benchtime 1s . |
+go test -run '^$' -bench 'BenchmarkGridderKernel$|BenchmarkGridderKernelFloat32$|BenchmarkDegridderKernel$|BenchmarkDegridderKernelFloat32$' -benchtime 1s -count 3 . |
     go run ./cmd/benchjson > "$out"
 go run ./cmd/benchjson -compare -allow-missing -threshold "${BENCH_THRESHOLD:-10}" BENCH_kernels.json "$out"
