@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/energy"
+	"repro/internal/fft"
 	"repro/internal/grid"
 	"repro/internal/perfmodel"
 	"repro/internal/plan"
@@ -399,6 +400,28 @@ func BenchmarkFullDegriddingPass(b *testing.B) {
 	}
 	st := obs.Plan.Stats()
 	b.ReportMetric(float64(st.NrGriddedVisibilities)/times.Total().Seconds()/1e6, "MVis/s")
+}
+
+// BenchmarkGridFFT2048 measures the serial centered transform of one
+// full-size (2048-pixel) grid plane, the final FFT of an imaging pass
+// at the paper's grid size. Forward+inverse per op keeps the data
+// bounded across iterations.
+func BenchmarkGridFFT2048(b *testing.B) {
+	const n = 2048
+	p := fft.CachedPlan2D(n, n)
+	rnd := newTestRand(18)
+	x := make([]complex128, n*n)
+	for i := range x {
+		x[i] = complex(rnd(), rnd())
+	}
+	p.ForwardCentered(x) // warm the plan's pooled scratch
+	p.InverseCentered(x)
+	b.SetBytes(2 * n * n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ForwardCentered(x)
+		p.InverseCentered(x)
+	}
 }
 
 // newTestRand returns a tiny deterministic uniform(-1,1) generator

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/fft"
 	"repro/internal/perfmodel"
 	"repro/internal/report"
 	"repro/internal/sky"
@@ -115,8 +116,11 @@ func runMeasured(scale float64) {
 	// The dispatch actually measured: roofline percentages are only
 	// interpretable next to the kernel code path that produced them.
 	fmt.Println(obs.Kernels.SIMDInfo())
+	fmt.Println("fft: " + fft.EngineInfo())
 	frac := (gridTimes.Gridder + degridTimes.Degridder).Seconds() / cycle.Total().Seconds()
 	fmt.Printf("gridder+degridder share: %.1f%% (paper: >93%%)\n", 100*frac)
+	fftFrac := (gridTimes.SubgridFFT + degridTimes.SubgridFFT).Seconds() / cycle.Total().Seconds()
+	fmt.Printf("subgrid FFT share: %.1f%% of the grid+degrid cycle\n", 100*fftFrac)
 
 	// Sanity: the dirty image must recover the brighter source.
 	img := core.GridToImage(g, 0)

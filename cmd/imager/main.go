@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/clean"
 	"repro/internal/core"
+	"repro/internal/fft"
 	"repro/internal/report"
 	"repro/internal/sky"
 	"repro/internal/weight"
@@ -109,6 +110,7 @@ func main() {
 	// sincos evaluator that produced them.
 	if *metrics {
 		fmt.Println(obs.Kernels.SIMDInfo())
+		fmt.Println("fft: " + fft.EngineInfo())
 	}
 	n := cfg.GridSize
 	pix := obs.ImageSize / float64(n)
@@ -204,8 +206,9 @@ func main() {
 	core.ApplyTaperCorrection(dirty, corr)
 	dirtyI := sky.StokesI(dirty)
 	writePGM(*outDir, "dirty.pgm", dirtyI, n)
-	fmt.Printf("gridded %d visibilities (gridder %.2fs, fft %.2fs, adder %.2fs)\n",
-		st.NrGriddedVisibilities, times.Gridder.Seconds(), times.SubgridFFT.Seconds(), times.Adder.Seconds())
+	fmt.Printf("gridded %d visibilities (gridder %.2fs, fft %.2fs [%.1f%% of pass], adder %.2fs)\n",
+		st.NrGriddedVisibilities, times.Gridder.Seconds(), times.SubgridFFT.Seconds(),
+		100*times.SubgridFFT.Seconds()/times.Total().Seconds(), times.Adder.Seconds())
 
 	// --- PSF: grid unit visibilities.
 	psfVis := obs.Vis

@@ -197,6 +197,14 @@ type Params struct {
 	// IDG_SIMD=scalar as far as tile selection goes, but scoped to one
 	// Kernels value instead of the process.
 	DisableVectorKernels bool
+	// DisableFastFFT routes the subgrid FFT stage through the seed
+	// implementation — rotate-based fftshift passes around a
+	// per-column gather/scatter radix-2 transform — instead of the
+	// fused-centering radix-4 engine with blocked column tiles (used
+	// by the ablation benchmarks and the new-vs-old equivalence tests;
+	// results agree to ~1e-15 relative, the reordered-summation
+	// rounding class).
+	DisableFastFFT bool
 
 	// forceSIMD pins the dispatch tier of this Kernels value,
 	// overriding xmath.ActiveSIMD (still clamped to the detected
@@ -439,7 +447,9 @@ func NewKernels(params Params) (*Kernels, error) {
 			}
 		}
 	}
-	k.sgFFT = fft.NewPlan2D(sg, sg)
+	// Shared via the package cache: every Kernels value (and every
+	// streamed chunk worker) reuses one immutable plan per size.
+	k.sgFFT = fft.CachedPlan2D(sg, sg)
 	k.scratchPool.New = func() any { return new(scratch) }
 	k.subgridPool.New = func() any { return grid.NewSubgrid(sg, 0, 0) }
 	k.ob = newKernelObs(params.Observer)

@@ -69,16 +69,23 @@ func (k *Kernels) transformSubgrids(subgrids []*grid.Subgrid, inverse bool) {
 // transforms its own subgrids without a nested fan-out.
 func (k *Kernels) fftSubgridOne(s *grid.Subgrid, inverse bool) {
 	norm := complex(1/float64(k.params.SubgridSize*k.params.SubgridSize), 0)
-	for c := 0; c < grid.NrCorrelations; c++ {
-		if inverse {
-			k.sgFFT.InverseCentered(s.Data[c])
-		} else {
-			k.sgFFT.ForwardCentered(s.Data[c])
-			for i := range s.Data[c] {
-				s.Data[c][i] *= norm
+	if k.params.DisableFastFFT {
+		for c := 0; c < grid.NrCorrelations; c++ {
+			if inverse {
+				k.sgFFT.InverseCenteredLegacy(s.Data[c])
+			} else {
+				k.sgFFT.ForwardCenteredLegacy(s.Data[c])
+				for i := range s.Data[c] {
+					s.Data[c][i] *= norm
+				}
 			}
 		}
+		return
 	}
+	// All four correlation planes through the fused-centering batched
+	// path; both directions carry the same 1/N~^2, so the scale folds
+	// into the transform's output pass.
+	k.sgFFT.TransformPlanes(s.Data[:], inverse, norm)
 }
 
 // Adder accumulates uv-domain subgrids onto the grid. Subgrids may

@@ -14,28 +14,41 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
+
+	"repro/internal/xmath"
 )
+
+// planTier resolves the SIMD tier a new plan's kernels dispatch on.
+// It is a variable so the test suite can force the scalar tier without
+// touching the process-wide IDG_SIMD override.
+var planTier = xmath.ActiveSIMD
 
 // Plan holds the precomputed tables for transforms of one size.
 // A Plan is safe for concurrent use by multiple goroutines: all state
-// is read-only after construction, and scratch buffers are allocated
-// per call (Bluestein) or not needed (radix-2).
+// is read-only after construction, and scratch buffers are pooled per
+// plan (Bluestein, mixed-radix) or not needed (power-of-two).
 type Plan struct {
 	n    int
 	pow2 bool
+	tier xmath.SIMDTier
 
-	// Radix-2 tables.
-	perm    []int32      // bit-reversal permutation
-	twiddle []complex128 // n/2 forward roots of unity
+	// Power-of-two tables: the bit-reversal permutation is shared by
+	// the fused radix-4 engine (radix4.go) and the legacy radix-2 path
+	// kept for ablation comparisons; twiddle is the legacy n/2 table.
+	perm    []int32
+	twiddle []complex128
+	r4      *r4Plan
 
 	// Mixed-radix plan for 2/3/5-smooth lengths (nil otherwise).
 	mixed *mixedPlan
 
 	// Bluestein tables (nil for power-of-two sizes).
 	bm         int          // convolution size (power of two >= 2n-1)
-	bPlan      *Plan        // radix-2 plan of size bm
+	bPlan      *Plan        // power-of-two plan of size bm
 	chirp      []complex128 // exp(-i*pi*k^2/n), k = 0..n-1
 	bKernelFFT []complex128 // FFT of the chirp convolution kernel
+	bPool      sync.Pool    // *[]complex128 of length bm (conv scratch)
 }
 
 // NewPlan creates a transform plan for length n. It panics if n < 1,
@@ -45,10 +58,11 @@ func NewPlan(n int) *Plan {
 	if n < 1 {
 		panic(fmt.Sprintf("fft: invalid transform length %d", n))
 	}
-	p := &Plan{n: n}
+	p := &Plan{n: n, tier: planTier()}
 	if n&(n-1) == 0 {
 		p.pow2 = true
 		p.initRadix2()
+		p.r4 = newR4Plan(n)
 		return p
 	}
 	if factors, ok := smoothFactors(n); ok {
@@ -100,14 +114,102 @@ func (p *Plan) initBluestein() {
 			kernel[m-k] = kernel[k]
 		}
 	}
-	p.bPlan.forwardRadix2(kernel)
+	p.bPlan.forwardPow2(kernel, false)
 	p.bKernelFFT = kernel
+	p.bPool.New = func() interface{} {
+		buf := make([]complex128, m)
+		return &buf
+	}
 }
 
 // Forward transforms x in place with the negative-exponent convention.
 // It panics if len(x) != N().
 func (p *Plan) Forward(x []complex128) {
 	p.checkLen(x)
+	if p.pow2 {
+		p.forwardPow2(x, false)
+		return
+	}
+	if p.mixed != nil {
+		p.mixed.forward(x)
+		return
+	}
+	p.bluesteinPooled(x)
+}
+
+// Inverse transforms x in place with the positive-exponent convention
+// and scales by 1/n, so that Inverse is the exact inverse of Forward.
+func (p *Plan) Inverse(x []complex128) {
+	p.checkLen(x)
+	if p.pow2 {
+		p.forwardPow2(x, true)
+		inv := 1 / float64(p.n)
+		for i, v := range x {
+			x[i] = complex(real(v)*inv, imag(v)*inv)
+		}
+		return
+	}
+	// inverse(x) = conj(forward(conj(x))) / n
+	for i, v := range x {
+		x[i] = complex(real(v), -imag(v))
+	}
+	p.Forward(x)
+	inv := 1 / float64(p.n)
+	for i, v := range x {
+		x[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+}
+
+// scratchLen is the caller-supplied scratch size forwardWith and
+// backwardWith need: zero for power-of-two plans (fully in place), 2n
+// for mixed-radix, the convolution length for Bluestein.
+func (p *Plan) scratchLen() int {
+	switch {
+	case p.pow2:
+		return 0
+	case p.mixed != nil:
+		return 2 * p.n
+	default:
+		return p.bm
+	}
+}
+
+// forwardWith is Forward with caller-supplied scratch (len >=
+// scratchLen()), letting the 2-D driver keep every transform of a
+// plane on one pooled buffer.
+func (p *Plan) forwardWith(x, scratch []complex128) {
+	switch {
+	case p.pow2:
+		p.forwardPow2(x, false)
+	case p.mixed != nil:
+		p.mixed.forwardWith(x, scratch)
+	default:
+		p.bluestein(x, scratch)
+	}
+}
+
+// backwardWith runs the unnormalized positive-exponent transform; the
+// caller folds the 1/n scale into its output pass.
+func (p *Plan) backwardWith(x, scratch []complex128) {
+	if p.pow2 {
+		p.forwardPow2(x, true)
+		return
+	}
+	// backward(x) = conj(forward(conj(x))); the conjugation sweeps run
+	// over in-cache data and cost a fraction of the transform.
+	for i, v := range x {
+		x[i] = complex(real(v), -imag(v))
+	}
+	p.forwardWith(x, scratch)
+	for i, v := range x {
+		x[i] = complex(real(v), -imag(v))
+	}
+}
+
+// forwardLegacy is the pre-radix-4 transform (iterative radix-2 for
+// powers of two), kept selectable so the ablation path and the test
+// suite can compare the engines.
+func (p *Plan) forwardLegacy(x []complex128) {
 	if p.pow2 {
 		p.forwardRadix2(x)
 		return
@@ -116,18 +218,16 @@ func (p *Plan) Forward(x []complex128) {
 		p.mixed.forward(x)
 		return
 	}
-	p.bluestein(x)
+	p.bluesteinPooled(x)
 }
 
-// Inverse transforms x in place with the positive-exponent convention
-// and scales by 1/n, so that Inverse is the exact inverse of Forward.
-func (p *Plan) Inverse(x []complex128) {
-	p.checkLen(x)
-	// inverse(x) = conj(forward(conj(x))) / n
+// inverseLegacy mirrors the seed Inverse: conj/forward/conj with the
+// scale fused into the final conjugation.
+func (p *Plan) inverseLegacy(x []complex128) {
 	for i, v := range x {
 		x[i] = complex(real(v), -imag(v))
 	}
-	p.Forward(x)
+	p.forwardLegacy(x)
 	inv := 1 / float64(p.n)
 	for i, v := range x {
 		x[i] = complex(real(v)*inv, -imag(v)*inv)
@@ -168,24 +268,33 @@ func (p *Plan) forwardRadix2(x []complex128) {
 	}
 }
 
-func (p *Plan) bluestein(x []complex128) {
+// bluesteinPooled runs bluestein on scratch borrowed from the plan's
+// pool, so repeated public Forward calls allocate nothing.
+func (p *Plan) bluesteinPooled(x []complex128) {
+	bufp := p.bPool.Get().(*[]complex128)
+	p.bluestein(x, *bufp)
+	p.bPool.Put(bufp)
+}
+
+func (p *Plan) bluestein(x, scratch []complex128) {
 	n, m := p.n, p.bm
-	a := make([]complex128, m)
+	a := scratch[:m]
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * p.chirp[k]
 	}
-	p.bPlan.forwardRadix2(a)
+	// Pooled scratch arrives dirty: the convolution input must be
+	// zero-padded to m.
+	for k := n; k < m; k++ {
+		a[k] = 0
+	}
+	p.bPlan.forwardPow2(a, false)
 	for i := range a {
 		a[i] *= p.bKernelFFT[i]
 	}
-	// Inverse transform of size m (manually, to reuse radix-2 core).
-	for i, v := range a {
-		a[i] = complex(real(v), -imag(v))
-	}
-	p.bPlan.forwardRadix2(a)
+	p.bPlan.forwardPow2(a, true) // unnormalized backward
 	inv := 1 / float64(m)
 	for k := 0; k < n; k++ {
-		v := complex(real(a[k])*inv, -imag(a[k])*inv)
+		v := complex(real(a[k])*inv, imag(a[k])*inv)
 		x[k] = v * p.chirp[k]
 	}
 }

@@ -6,23 +6,58 @@ import (
 	"sync"
 )
 
+// colBlock is the tile width of the cache-blocked column pass: B
+// adjacent columns are gathered into a contiguous rows x B scratch,
+// transformed as B-wide vector lanes (power-of-two rows) or B
+// independent contiguous columns (mixed/Bluestein rows), and scattered
+// back. Eight complex128 columns are two cache lines per tile row, so
+// the gather walks the source at full line utilization, and the
+// butterfly legs stride B*16 bytes instead of cols*16 — which for
+// power-of-two grids would alias to a handful of L1 sets.
+const colBlock = 8
+
 // Plan2D performs 2-D transforms on row-major data of size rows x cols.
-// Like Plan, a Plan2D is safe for concurrent use.
+// Like Plan, a Plan2D is safe for concurrent use; per-call state lives
+// in a pooled scratch struct so steady-state transforms allocate
+// nothing.
 type Plan2D struct {
 	rows, cols int
-	rowPlan    *Plan
-	colPlan    *Plan
+	rowPlan    *Plan // length rows: transforms along a column
+	colPlan    *Plan // length cols: transforms along a row
+	sigma      complex128
+	fusedOK    bool // fused centering needs both sides even
+	scratch    sync.Pool
 }
 
-// NewPlan2D creates a 2-D plan. Square plans share nothing between the
-// two dimensions beyond the underlying 1-D plans.
+type p2dScratch struct {
+	tile []complex128 // rows*colBlock tile / column staging
+	oneD []complex128 // scratch for non-pow2 1-D transforms
+}
+
+// NewPlan2D creates a 2-D plan. Square plans share the underlying 1-D
+// plan between the two dimensions.
 func NewPlan2D(rows, cols int) *Plan2D {
 	p := &Plan2D{rows: rows, cols: cols}
-	p.colPlan = NewPlan(cols) // transforms along a row (length = cols)
+	p.colPlan = NewPlan(cols)
 	if rows == cols {
 		p.rowPlan = p.colPlan
 	} else {
 		p.rowPlan = NewPlan(rows)
+	}
+	p.fusedOK = rows%2 == 0 && cols%2 == 0
+	p.sigma = 1
+	if (rows/2+cols/2)%2 == 1 {
+		p.sigma = -1
+	}
+	oneD := p.rowPlan.scratchLen()
+	if l := p.colPlan.scratchLen(); l > oneD {
+		oneD = l
+	}
+	p.scratch.New = func() interface{} {
+		return &p2dScratch{
+			tile: make([]complex128, rows*colBlock),
+			oneD: make([]complex128, oneD),
+		}
 	}
 	return p
 }
@@ -42,40 +77,150 @@ func (p *Plan2D) checkLen(x []complex128) {
 
 // Forward transforms x (row-major, rows x cols) in place.
 func (p *Plan2D) Forward(x []complex128) {
-	p.transform(x, false)
+	p.checkLen(x)
+	p.runSerial(x, false, false, 1)
 }
 
 // Inverse applies the inverse 2-D transform in place, scaling by
 // 1/(rows*cols) overall.
 func (p *Plan2D) Inverse(x []complex128) {
-	p.transform(x, true)
+	p.checkLen(x)
+	p.runSerial(x, true, false, complex(1/float64(p.rows*p.cols), 0))
 }
 
-func (p *Plan2D) transform(x []complex128, inverse bool) {
-	p.checkLen(x)
-	// Transform every row.
-	for r := 0; r < p.rows; r++ {
+// runSerial is the 2-D driver: a row pass in place, then the blocked
+// column pass tile by tile. fused folds the centering sign flips into
+// the passes; scale is applied once, during the column-tile scatter.
+func (p *Plan2D) runSerial(x []complex128, inverse, fused bool, scale complex128) {
+	sc := p.scratch.Get().(*p2dScratch)
+	p.rowPass(x, 0, p.rows, inverse, fused, sc)
+	for c0 := 0; c0 < p.cols; c0 += colBlock {
+		cw := p.cols - c0
+		if cw > colBlock {
+			cw = colBlock
+		}
+		p.colTile(x, c0, cw, inverse, fused, scale, sc)
+	}
+	p.scratch.Put(sc)
+}
+
+// rowPass transforms rows [r0, r1) in place. preFlip negates the
+// odd-index elements of every row first: the (-1)^c half of the fused
+// centering's (-1)^(r+c) input checkerboard.
+func (p *Plan2D) rowPass(x []complex128, r0, r1 int, inverse, preFlip bool, sc *p2dScratch) {
+	for r := r0; r < r1; r++ {
 		row := x[r*p.cols : (r+1)*p.cols]
+		if preFlip {
+			flipOdd(row)
+		}
 		if inverse {
-			p.colPlan.Inverse(row)
+			p.colPlan.backwardWith(row, sc.oneD)
 		} else {
-			p.colPlan.Forward(row)
+			p.colPlan.forwardWith(row, sc.oneD)
 		}
 	}
-	// Transform every column via a scratch buffer.
-	col := make([]complex128, p.rows)
-	for c := 0; c < p.cols; c++ {
-		for r := 0; r < p.rows; r++ {
-			col[r] = x[r*p.cols+c]
+}
+
+// colTile transforms columns [c0, c0+cw) of x. When fused, the gather
+// applies the (-1)^r input flip and the scatter applies the output
+// checkerboard (-1)^(k+l) together with the scale (which already
+// carries the caller's sigma factor).
+func (p *Plan2D) colTile(x []complex128, c0, cw int, inverse, fused bool, scale complex128, sc *p2dScratch) {
+	rows, cols := p.rows, p.cols
+	if p.rowPlan.pow2 {
+		// Gather into a row-major rows x cw tile and run the engine's
+		// lane-parallel schedule directly on it.
+		tile := sc.tile[:rows*cw]
+		for r := 0; r < rows; r++ {
+			src := x[r*cols+c0 : r*cols+c0+cw]
+			dst := tile[r*cw : r*cw+cw]
+			if fused && r&1 == 1 {
+				for j, v := range src {
+					dst[j] = -v
+				}
+			} else {
+				copy(dst, src)
+			}
+		}
+		p.rowPlan.colPow2(tile, cw, inverse)
+		p.scatterTile(x, tile, c0, cw, fused, scale)
+		return
+	}
+	// Non-power-of-two rows: stage each column contiguously and run cw
+	// independent 1-D transforms.
+	for j := 0; j < cw; j++ {
+		col := sc.tile[j*rows : (j+1)*rows]
+		for r := 0; r < rows; r++ {
+			v := x[r*cols+c0+j]
+			if fused && r&1 == 1 {
+				v = -v
+			}
+			col[r] = v
 		}
 		if inverse {
-			p.rowPlan.Inverse(col)
+			p.rowPlan.backwardWith(col, sc.oneD)
 		} else {
-			p.rowPlan.Forward(col)
+			p.rowPlan.forwardWith(col, sc.oneD)
 		}
-		for r := 0; r < p.rows; r++ {
-			x[r*p.cols+c] = col[r]
+	}
+	// Scatter column-major staging back (transposed relative to
+	// scatterTile's row-major tile).
+	for r := 0; r < rows; r++ {
+		dst := x[r*cols+c0 : r*cols+c0+cw]
+		if !fused {
+			if scale == 1 {
+				for j := 0; j < cw; j++ {
+					dst[j] = sc.tile[j*rows+r]
+				}
+			} else {
+				for j := 0; j < cw; j++ {
+					dst[j] = sc.tile[j*rows+r] * scale
+				}
+			}
+			continue
 		}
+		s := scale
+		if (r+c0)&1 == 1 {
+			s = -scale
+		}
+		for j := 0; j < cw; j++ {
+			dst[j] = sc.tile[j*rows+r] * s
+			s = -s
+		}
+	}
+}
+
+// scatterTile writes a row-major rows x cw tile back into columns
+// [c0, c0+cw), applying the output checkerboard and scale.
+func (p *Plan2D) scatterTile(x, tile []complex128, c0, cw int, fused bool, scale complex128) {
+	rows, cols := p.rows, p.cols
+	for r := 0; r < rows; r++ {
+		src := tile[r*cw : r*cw+cw]
+		dst := x[r*cols+c0 : r*cols+c0+cw]
+		if !fused {
+			if scale == 1 {
+				copy(dst, src)
+			} else {
+				for j, v := range src {
+					dst[j] = v * scale
+				}
+			}
+			continue
+		}
+		s := scale
+		if (r+c0)&1 == 1 {
+			s = -scale
+		}
+		for j, v := range src {
+			dst[j] = v * s
+			s = -s
+		}
+	}
+}
+
+func flipOdd(x []complex128) {
+	for i := 1; i < len(x); i += 2 {
+		x[i] = -x[i]
 	}
 }
 
@@ -84,16 +229,21 @@ func (p *Plan2D) transform(x []complex128, inverse bool) {
 // paper's dataset) benefit from this; subgrid transforms are too small
 // and are instead batched across subgrids, see TransformBatch.
 func (p *Plan2D) ForwardParallel(x []complex128, workers int) {
-	p.transformParallel(x, false, workers)
+	p.checkLen(x)
+	p.runParallel(x, false, false, 1, workers)
 }
 
 // InverseParallel is the parallel variant of Inverse.
 func (p *Plan2D) InverseParallel(x []complex128, workers int) {
-	p.transformParallel(x, true, workers)
+	p.checkLen(x)
+	p.runParallel(x, true, false, complex(1/float64(p.rows*p.cols), 0), workers)
 }
 
-func (p *Plan2D) transformParallel(x []complex128, inverse bool, workers int) {
-	p.checkLen(x)
+// runParallel splits the row pass by row ranges and the column pass by
+// tile ranges. Tiles are independent and the per-column math is
+// identical to the serial schedule, so parallel output is bitwise
+// equal to serial.
+func (p *Plan2D) runParallel(x []complex128, inverse, fused bool, scale complex128, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -101,11 +251,10 @@ func (p *Plan2D) transformParallel(x []complex128, inverse bool, workers int) {
 		workers = p.rows
 	}
 	if workers <= 1 {
-		p.transform(x, inverse)
+		p.runSerial(x, inverse, fused, scale)
 		return
 	}
 	var wg sync.WaitGroup
-	// Rows.
 	chunk := (p.rows + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
@@ -118,23 +267,22 @@ func (p *Plan2D) transformParallel(x []complex128, inverse bool, workers int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for r := lo; r < hi; r++ {
-				row := x[r*p.cols : (r+1)*p.cols]
-				if inverse {
-					p.colPlan.Inverse(row)
-				} else {
-					p.colPlan.Forward(row)
-				}
-			}
+			sc := p.scratch.Get().(*p2dScratch)
+			p.rowPass(x, lo, hi, inverse, fused, sc)
+			p.scratch.Put(sc)
 		}(lo, hi)
 	}
 	wg.Wait()
-	// Columns.
-	chunk = (p.cols + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	tiles := (p.cols + colBlock - 1) / colBlock
+	tw := workers
+	if tw > tiles {
+		tw = tiles
+	}
+	chunk = (tiles + tw - 1) / tw
+	for w := 0; w < tw; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
-		if hi > p.cols {
-			hi = p.cols
+		if hi > tiles {
+			hi = tiles
 		}
 		if lo >= hi {
 			break
@@ -142,20 +290,16 @@ func (p *Plan2D) transformParallel(x []complex128, inverse bool, workers int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			col := make([]complex128, p.rows)
-			for c := lo; c < hi; c++ {
-				for r := 0; r < p.rows; r++ {
-					col[r] = x[r*p.cols+c]
+			sc := p.scratch.Get().(*p2dScratch)
+			for t := lo; t < hi; t++ {
+				c0 := t * colBlock
+				cw := p.cols - c0
+				if cw > colBlock {
+					cw = colBlock
 				}
-				if inverse {
-					p.rowPlan.Inverse(col)
-				} else {
-					p.rowPlan.Forward(col)
-				}
-				for r := 0; r < p.rows; r++ {
-					x[r*p.cols+c] = col[r]
-				}
+				p.colTile(x, c0, cw, inverse, fused, scale, sc)
 			}
+			p.scratch.Put(sc)
 		}(lo, hi)
 	}
 	wg.Wait()
@@ -166,6 +310,10 @@ func (p *Plan2D) transformParallel(x []complex128, inverse bool, workers int) {
 // paper, Section V-B(c)). Each element of batch must have length
 // rows*cols. inverse selects the transform direction.
 func (p *Plan2D) TransformBatch(batch [][]complex128, inverse bool, workers int) {
+	scale := complex128(1)
+	if inverse {
+		scale = complex(1/float64(p.rows*p.cols), 0)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -174,7 +322,8 @@ func (p *Plan2D) TransformBatch(batch [][]complex128, inverse bool, workers int)
 	}
 	if workers <= 1 {
 		for _, x := range batch {
-			p.transform(x, inverse)
+			p.checkLen(x)
+			p.runSerial(x, inverse, false, scale)
 		}
 		return
 	}
@@ -189,9 +338,34 @@ func (p *Plan2D) TransformBatch(batch [][]complex128, inverse bool, workers int)
 		go func() {
 			defer wg.Done()
 			for x := range next {
-				p.transform(x, inverse)
+				p.checkLen(x)
+				p.runSerial(x, inverse, false, scale)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// TransformPlanes runs the centered transform on each plane (all four
+// correlations of one subgrid, typically) and multiplies by scale, all
+// in one pass: TransformPlanes(planes, inverse, 1/(rows*cols)) is
+// InverseCentered on every plane, and the forward direction matches
+// ForwardCentered followed by a scale sweep — with the shift rotates
+// and the normalization sweep fused away.
+func (p *Plan2D) TransformPlanes(planes [][]complex128, inverse bool, scale complex128) {
+	if !p.fusedOK {
+		// Odd sizes fall back to explicit shift rotates around the
+		// blocked transform; scale stays fused into the column scatter.
+		for _, x := range planes {
+			p.checkLen(x)
+			InverseShift2D(x, p.rows, p.cols)
+			p.runSerial(x, inverse, false, scale)
+			Shift2D(x, p.rows, p.cols)
+		}
+		return
+	}
+	for _, x := range planes {
+		p.checkLen(x)
+		p.runSerial(x, inverse, true, p.sigma*scale)
+	}
 }

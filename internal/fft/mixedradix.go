@@ -52,11 +52,17 @@ func newMixedPlan(n int, factors []int) *mixedPlan {
 // forward computes the DFT of x in place.
 func (p *mixedPlan) forward(x []complex128) {
 	bufp := p.pool.Get().(*[]complex128)
-	buf := *bufp
-	out, scratch := buf[:p.n], buf[p.n:]
+	p.forwardWith(x, *bufp)
+	p.pool.Put(bufp)
+}
+
+// forwardWith is forward with caller-supplied scratch of length >= 2n,
+// so the 2-D driver's pooled buffer serves a whole plane of row and
+// column transforms without touching the pool per call.
+func (p *mixedPlan) forwardWith(x, buf []complex128) {
+	out, scratch := buf[:p.n], buf[p.n:2*p.n]
 	p.rec(x, out, scratch, p.n, 1, 0)
 	copy(x, out)
-	p.pool.Put(bufp)
 }
 
 // rec computes the n-point DFT of src[0], src[stride], ... into
@@ -76,6 +82,9 @@ func (p *mixedPlan) rec(src, dst, scratch []complex128, n, stride, level int) {
 		return
 	case 5:
 		p.dftSmall(src, dst, 5, stride)
+		return
+	case 8:
+		dft8(src, dst, stride)
 		return
 	}
 	r := p.factors[level]
@@ -151,4 +160,38 @@ func (p *mixedPlan) dftSmall(src, dst []complex128, n, stride int) {
 // mulByI returns i*z.
 func mulByI(z complex128) complex128 {
 	return complex(-imag(z), real(z))
+}
+
+// invSqrt2 = sqrt(2)/2, the magnitude of the odd eighth roots.
+const invSqrt2 = 0.7071067811865476
+
+// dft8 is a hardcoded 8-point DIT codelet (two 4-point DFTs plus a
+// radix-2 combine whose only non-trivial twiddles are W8^1 and W8^3,
+// applied as shuffle/scale). The paper's 24-pixel subgrids factor as
+// 3 x 8, so this leaf carries most of the mixed-radix work.
+func dft8(src, dst []complex128, stride int) {
+	x0, x1 := src[0], src[stride]
+	x2, x3 := src[2*stride], src[3*stride]
+	x4, x5 := src[4*stride], src[5*stride]
+	x6, x7 := src[6*stride], src[7*stride]
+
+	// Even 4-point DFT: x0, x2, x4, x6.
+	t0, t1 := x0+x4, x0-x4
+	t2, t3 := x2+x6, complex(imag(x2-x6), -real(x2-x6)) // -i*(x2-x6)
+	e0, e1, e2, e3 := t0+t2, t1+t3, t0-t2, t1-t3
+
+	// Odd 4-point DFT: x1, x3, x5, x7.
+	u0, u1 := x1+x5, x1-x5
+	u2, u3 := x3+x7, complex(imag(x3-x7), -real(x3-x7))
+	o0, o1, o2, o3 := u0+u2, u1+u3, u0-u2, u1-u3
+
+	// Twiddled odds: W8^0=1, W8^1=s*(1-i), W8^2=-i, W8^3=-s*(1+i).
+	o1 = complex(invSqrt2*(real(o1)+imag(o1)), invSqrt2*(imag(o1)-real(o1)))
+	o2 = complex(imag(o2), -real(o2))
+	o3 = complex(invSqrt2*(imag(o3)-real(o3)), -invSqrt2*(real(o3)+imag(o3)))
+
+	dst[0], dst[4] = e0+o0, e0-o0
+	dst[1], dst[5] = e1+o1, e1-o1
+	dst[2], dst[6] = e2+o2, e2-o2
+	dst[3], dst[7] = e3+o3, e3-o3
 }

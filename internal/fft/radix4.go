@@ -1,0 +1,175 @@
+package fft
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/xmath"
+)
+
+// The power-of-two engine: an iterative DIT transform whose butterfly
+// fuses two consecutive radix-2 stages into one radix-4 pass. Fusing
+// keeps the plain bit-reversal input permutation (the fused pass is
+// algebraically the two radix-2 stages executed back to back) while
+// cutting complex multiplies from 4 to 3 per 4 outputs and halving the
+// number of passes over the data. For odd log2(n) a single twiddle-free
+// radix-2 stage runs first, so every length is covered.
+//
+// Per-stage twiddle tables are stored as two flat slices (tw1[t] =
+// W_2h^t, tw2[t] = W_4h^t for t < h) so the stage kernels read them
+// sequentially; the third leg's factor w3 = -i*w2 (forward) / +i*w2
+// (backward) is derived in-register, which is exact. The backward
+// tables are the conjugates, stored separately to keep both directions
+// sequential reads.
+
+// r4Stage is one fused radix-4 pass: butterflies span 4h elements.
+type r4Stage struct {
+	h        int
+	tw1, tw2 []complex128
+}
+
+// r4Plan holds the fused-stage schedule for one power-of-two length.
+type r4Plan struct {
+	leadR2 bool      // run one twiddle-free radix-2 stage first
+	fwd    []r4Stage // forward tables, in execution order
+	inv    []r4Stage // conjugated tables for the backward transform
+}
+
+func newR4Plan(n int) *r4Plan {
+	p := &r4Plan{}
+	if n < 4 {
+		p.leadR2 = n == 2
+		return p
+	}
+	logN := bits.TrailingZeros(uint(n))
+	h := 1
+	if logN%2 == 1 {
+		p.leadR2 = true
+		h = 2
+	}
+	for ; 4*h <= n; h *= 4 {
+		fw := r4Stage{h: h, tw1: make([]complex128, h), tw2: make([]complex128, h)}
+		iv := r4Stage{h: h, tw1: make([]complex128, h), tw2: make([]complex128, h)}
+		for t := 0; t < h; t++ {
+			w1 := unitRoot(t, 2*h)
+			w2 := unitRoot(t, 4*h)
+			fw.tw1[t], fw.tw2[t] = w1, w2
+			iv.tw1[t] = complex(real(w1), -imag(w1))
+			iv.tw2[t] = complex(real(w2), -imag(w2))
+		}
+		p.fwd = append(p.fwd, fw)
+		p.inv = append(p.inv, iv)
+	}
+	return p
+}
+
+// unitRoot returns exp(-2*pi*i*t/m).
+func unitRoot(t, m int) complex128 {
+	ang := -2 * math.Pi * float64(t) / float64(m)
+	return complex(math.Cos(ang), math.Sin(ang))
+}
+
+// forwardPow2 transforms x in place with the new engine; inverse runs
+// the unnormalized backward (positive-exponent) transform.
+func (p *Plan) forwardPow2(x []complex128, inverse bool) {
+	n := p.n
+	if n == 1 {
+		return
+	}
+	for i, pi := range p.perm {
+		if int32(i) < pi {
+			x[i], x[pi] = x[pi], x[i]
+		}
+	}
+	r := p.r4
+	if r.leadR2 {
+		for i := 0; i < n; i += 2 {
+			a, b := x[i], x[i+1]
+			x[i], x[i+1] = a+b, a-b
+		}
+	}
+	stages := r.fwd
+	if inverse {
+		stages = r.inv
+	}
+	for _, st := range stages {
+		if st.h == 1 {
+			dft4Blocks(x, inverse)
+			continue
+		}
+		xmath.R4StageTwAt(p.tier, x, st.h, st.tw1, st.tw2, inverse)
+	}
+}
+
+// dft4Blocks runs the twiddle-free h=1 stage: a plain 4-point DFT on
+// every aligned quad (only the first stage of even-log2 lengths).
+func dft4Blocks(x []complex128, inverse bool) {
+	for i := 0; i < len(x); i += 4 {
+		a, b, c, d := x[i], x[i+1], x[i+2], x[i+3]
+		a1, b1 := a+b, a-b
+		c1, d1 := c+d, c-d
+		var e complex128
+		if inverse {
+			e = complex(-imag(d1), real(d1)) // +i*d1
+		} else {
+			e = complex(imag(d1), -real(d1)) // -i*d1
+		}
+		x[i], x[i+1], x[i+2], x[i+3] = a1+c1, b1+e, a1-c1, b1-e
+	}
+}
+
+// Column-pass variants: the same schedule applied to a tile of cw
+// adjacent columns gathered into a row-major (rows x cw) scratch, so
+// each butterfly is a cw-wide vector op on contiguous memory and the
+// twiddles broadcast. This is the cache-blocked column pass: the tile
+// walks the source row-major (sequential reads), and the butterfly
+// legs stride cw*16 bytes instead of cols*16, which for power-of-two
+// grids avoids the pathological set-aliasing of a strided in-place
+// pass.
+
+// colPow2 transforms the cw-wide columns of tile (rows x cw,
+// row-major) in place using plan p (p.n == rows).
+func (p *Plan) colPow2(tile []complex128, cw int, inverse bool) {
+	if p.n == 1 {
+		return
+	}
+	var tmp [colBlock]complex128
+	for i, pi := range p.perm {
+		if int32(i) < pi {
+			a := tile[i*cw : i*cw+cw]
+			b := tile[int(pi)*cw : int(pi)*cw+cw]
+			copy(tmp[:cw], a)
+			copy(a, b)
+			copy(b, tmp[:cw])
+		}
+	}
+	r := p.r4
+	if r.leadR2 {
+		for i := 0; i < p.n; i += 2 {
+			xmath.AddSubLanes(tile[i*cw:i*cw+cw], tile[(i+1)*cw:(i+1)*cw+cw])
+		}
+	}
+	stages := r.fwd
+	if inverse {
+		stages = r.inv
+	}
+	one := complex(1, 0)
+	for _, st := range stages {
+		h := st.h
+		for base := 0; base < p.n; base += 4 * h {
+			for t := 0; t < h; t++ {
+				j := (base + t) * cw
+				w1, w2 := one, one
+				if h > 1 {
+					w1, w2 = st.tw1[t], st.tw2[t]
+				}
+				xmath.R4ColsAt(p.tier,
+					tile[j:j+cw],
+					tile[j+h*cw:j+h*cw+cw],
+					tile[j+2*h*cw:j+2*h*cw+cw],
+					tile[j+3*h*cw:j+3*h*cw+cw],
+					w1, w2, inverse)
+			}
+		}
+	}
+}

@@ -84,9 +84,22 @@ func shift2D(x []complex128, rows, cols int, inverse bool) {
 // fftshift(FFT(ifftshift(x))). Both input and output have DC at
 // (rows/2, cols/2). This is the image-domain -> uv-domain direction
 // used after the gridder kernel.
+//
+// For even sizes the shifts are fused into the transform: for even n,
+// fftshift∘F∘ifftshift = sigma·D·F·D with D = diag((-1)^j) and
+// sigma = (-1)^(n/2), so in 2-D the whole centering collapses to a
+// (-1)^(r+c) input checkerboard (folded into the row pass and the
+// column gather), a (-1)^(k+l)·sigma output checkerboard (folded into
+// the column scatter), and no rotate passes at all. Odd sizes keep the
+// explicit three-reversal rotates.
 func (p *Plan2D) ForwardCentered(x []complex128) {
+	p.checkLen(x)
+	if p.fusedOK {
+		p.runSerial(x, false, true, p.sigma)
+		return
+	}
 	InverseShift2D(x, p.rows, p.cols)
-	p.Forward(x)
+	p.runSerial(x, false, false, 1)
 	Shift2D(x, p.rows, p.cols)
 }
 
@@ -94,23 +107,87 @@ func (p *Plan2D) ForwardCentered(x []complex128) {
 // uv-domain -> image-domain direction used before the degridder kernel
 // and for turning the final grid into a sky image.
 func (p *Plan2D) InverseCentered(x []complex128) {
+	p.checkLen(x)
+	scale := complex(1/float64(p.rows*p.cols), 0)
+	if p.fusedOK {
+		p.runSerial(x, true, true, p.sigma*scale)
+		return
+	}
 	InverseShift2D(x, p.rows, p.cols)
-	p.Inverse(x)
+	p.runSerial(x, true, false, scale)
 	Shift2D(x, p.rows, p.cols)
 }
 
 // ForwardCenteredParallel is ForwardCentered with a parallel core
-// transform; the shifts remain serial (they are bandwidth trivial
-// compared to the transform for the sizes used here).
+// transform.
 func (p *Plan2D) ForwardCenteredParallel(x []complex128, workers int) {
+	p.checkLen(x)
+	if p.fusedOK {
+		p.runParallel(x, false, true, p.sigma, workers)
+		return
+	}
 	InverseShift2D(x, p.rows, p.cols)
-	p.ForwardParallel(x, workers)
+	p.runParallel(x, false, false, 1, workers)
 	Shift2D(x, p.rows, p.cols)
 }
 
 // InverseCenteredParallel is the parallel variant of InverseCentered.
 func (p *Plan2D) InverseCenteredParallel(x []complex128, workers int) {
+	p.checkLen(x)
+	scale := complex(1/float64(p.rows*p.cols), 0)
+	if p.fusedOK {
+		p.runParallel(x, true, true, p.sigma*scale, workers)
+		return
+	}
 	InverseShift2D(x, p.rows, p.cols)
-	p.InverseParallel(x, workers)
+	p.runParallel(x, true, false, scale, workers)
+	Shift2D(x, p.rows, p.cols)
+}
+
+// The Legacy variants below reproduce the seed implementation — rotate
+// shifts around a per-column gather/scatter radix-2 transform — and
+// back the DisableFastFFT ablation knob plus the new-vs-old test
+// comparisons.
+
+// transformLegacy is the seed 2-D transform: per-row transforms in
+// place, per-column transforms through a freshly allocated scratch,
+// legacy radix-2 for power-of-two lengths.
+func (p *Plan2D) transformLegacy(x []complex128, inverse bool) {
+	p.checkLen(x)
+	for r := 0; r < p.rows; r++ {
+		row := x[r*p.cols : (r+1)*p.cols]
+		if inverse {
+			p.colPlan.inverseLegacy(row)
+		} else {
+			p.colPlan.forwardLegacy(row)
+		}
+	}
+	col := make([]complex128, p.rows)
+	for c := 0; c < p.cols; c++ {
+		for r := 0; r < p.rows; r++ {
+			col[r] = x[r*p.cols+c]
+		}
+		if inverse {
+			p.rowPlan.inverseLegacy(col)
+		} else {
+			p.rowPlan.forwardLegacy(col)
+		}
+		for r := 0; r < p.rows; r++ {
+			x[r*p.cols+c] = col[r]
+		}
+	}
+}
+
+// ForwardCenteredLegacy is the seed centered forward transform.
+func (p *Plan2D) ForwardCenteredLegacy(x []complex128) {
+	InverseShift2D(x, p.rows, p.cols)
+	p.transformLegacy(x, false)
+	Shift2D(x, p.rows, p.cols)
+}
+
+// InverseCenteredLegacy is the seed centered inverse transform.
+func (p *Plan2D) InverseCenteredLegacy(x []complex128) {
+	InverseShift2D(x, p.rows, p.cols)
+	p.transformLegacy(x, true)
 	Shift2D(x, p.rows, p.cols)
 }

@@ -189,7 +189,9 @@ func (g *Gridder) computeKernel(w float64) *kernel {
 			screen[sy*s+sx] = complex(tap*coss[x], tap*sins[x])
 		}
 	}
-	plan := fft.NewPlan2D(s, s)
+	// Every W-plane shares the same screen size; the cached plan keeps
+	// one twiddle/scratch set across all planes and evaluators.
+	plan := fft.CachedPlan2D(s, s)
 	plan.ForwardCentered(screen)
 	// Keep the central fine region needed at grid time:
 	// |dx*ov - ox| <= nw/2*ov + ov.

@@ -1,0 +1,137 @@
+package xmath
+
+// Complex radix-4 butterfly helpers for the internal/fft engine. The
+// fused butterfly merges two consecutive radix-2 Cooley-Tukey stages
+// (half sizes h and 2h over a 4h block): with w1 = W_2h^t, w2 = W_4h^t
+// and w3 = -i*w2 (exact: negate + swap, no rounding),
+//
+//	tb = w1*b         td = w1*d
+//	a1 = a + tb       b1 = a - tb
+//	c1 = c + td       d1 = c - td
+//	tc = w2*c1        te = w3*d1
+//	a' = a1 + tc      b' = b1 + te
+//	c' = a1 - tc      d' = b1 - te
+//
+// which costs 3 complex multiplies per 4 outputs instead of radix-2's
+// 4, and reads each element once per fused stage instead of twice.
+//
+// The AVX2 paths multiply complexes with two duplicated-element
+// multiplies and VADDSUBPD — no FMA — so every product and sum is the
+// same IEEE operation the Go scalar code performs and the vector
+// results are bitwise identical to the fallback (the same convention
+// as cvt_amd64.s / the sincos kernels).
+
+// r4BflyScalar applies the fused butterfly to one element quad.
+func r4BflyScalar(a, b, c, d, w1, w2 complex128) (oa, ob, oc, od complex128) {
+	tb := w1 * b
+	td := w1 * d
+	a1, b1 := a+tb, a-tb
+	c1, d1 := c+td, c-td
+	tc := w2 * c1
+	w3 := complex(imag(w2), -real(w2)) // -i*w2, exact
+	te := w3 * d1
+	return a1 + tc, b1 + te, a1 - tc, b1 - te
+}
+
+// r4BflyInvScalar is the backward-direction butterfly: the caller
+// passes conjugated w1/w2 tables and the fused quarter-turn factor
+// conjugates too, w3 = +i*w2 (exact: negate + swap).
+func r4BflyInvScalar(a, b, c, d, w1, w2 complex128) (oa, ob, oc, od complex128) {
+	tb := w1 * b
+	td := w1 * d
+	a1, b1 := a+tb, a-tb
+	c1, d1 := c+td, c-td
+	tc := w2 * c1
+	w3 := complex(-imag(w2), real(w2)) // +i*w2, exact
+	te := w3 * d1
+	return a1 + tc, b1 + te, a1 - tc, b1 - te
+}
+
+// r4StageTwScalar runs a whole fused stage over contiguous data:
+// len(x) must be a multiple of 4h and len(tw1) == len(tw2) == h.
+func r4StageTwScalar(x []complex128, h int, tw1, tw2 []complex128) {
+	n := len(x)
+	for base := 0; base < n; base += 4 * h {
+		q := x[base : base+4*h]
+		for j := 0; j < h; j++ {
+			q[j], q[j+h], q[j+2*h], q[j+3*h] =
+				r4BflyScalar(q[j], q[j+h], q[j+2*h], q[j+3*h], tw1[j], tw2[j])
+		}
+	}
+}
+
+func r4StageTwInvScalar(x []complex128, h int, tw1, tw2 []complex128) {
+	n := len(x)
+	for base := 0; base < n; base += 4 * h {
+		q := x[base : base+4*h]
+		for j := 0; j < h; j++ {
+			q[j], q[j+h], q[j+2*h], q[j+3*h] =
+				r4BflyInvScalar(q[j], q[j+h], q[j+2*h], q[j+3*h], tw1[j], tw2[j])
+		}
+	}
+}
+
+// r4ColsScalar applies one broadcast-twiddle butterfly across B
+// parallel lanes (B = len(a); the 2-D column pass runs B adjacent
+// columns per inner loop on an interleaved tile).
+func r4ColsScalar(a, b, c, d []complex128, w1, w2 complex128) {
+	for i := range a {
+		a[i], b[i], c[i], d[i] = r4BflyScalar(a[i], b[i], c[i], d[i], w1, w2)
+	}
+}
+
+// R4StageTwAt runs a fused radix-4 stage with per-butterfly twiddle
+// tables over contiguous row-major data, dispatching on tier. len(x)
+// must be a positive multiple of 4h; tw1/tw2 hold h twiddles each.
+// inverse selects the backward butterfly (conjugated tables, +i fused
+// factor).
+func R4StageTwAt(tier SIMDTier, x []complex128, h int, tw1, tw2 []complex128, inverse bool) {
+	if hasCBflyASM && tier >= SIMDAVX2 && h >= 2 && h%2 == 0 {
+		if inverse {
+			r4StageTwPairsInv(&x[0], len(x), h, &tw1[0], &tw2[0])
+		} else {
+			r4StageTwPairs(&x[0], len(x), h, &tw1[0], &tw2[0])
+		}
+		return
+	}
+	if inverse {
+		r4StageTwInvScalar(x, h, tw1, tw2)
+	} else {
+		r4StageTwScalar(x, h, tw1, tw2)
+	}
+}
+
+// R4ColsAt runs one broadcast-twiddle butterfly across the lanes of
+// four equal-length slices, dispatching on tier. Lanes beyond the
+// widest vector multiple finish on the bit-identical scalar loop.
+func R4ColsAt(tier SIMDTier, a, b, c, d []complex128, w1, w2 complex128, inverse bool) {
+	i := 0
+	if hasCBflyASM && tier >= SIMDAVX2 {
+		if np := len(a) / 2; np > 0 {
+			if inverse {
+				r4ColsPairsInv(&a[0], &b[0], &c[0], &d[0], np, w1, w2)
+			} else {
+				r4ColsPairs(&a[0], &b[0], &c[0], &d[0], np, w1, w2)
+			}
+			i = 2 * np
+		}
+	}
+	if inverse {
+		for ; i < len(a); i++ {
+			a[i], b[i], c[i], d[i] = r4BflyInvScalar(a[i], b[i], c[i], d[i], w1, w2)
+		}
+	} else {
+		r4ColsScalar(a[i:], b[i:], c[i:], d[i:], w1, w2)
+	}
+}
+
+// AddSubLanes applies the twiddle-free radix-2 butterfly lane-wise:
+// a[i], b[i] = a[i]+b[i], a[i]-b[i]. It is the leading stage of
+// odd-log2 transforms; adds are order-independent so no vector form is
+// needed for bitwise parity — the compiler's scalar loop is fine.
+func AddSubLanes(a, b []complex128) {
+	for i := range a {
+		ai, bi := a[i], b[i]
+		a[i], b[i] = ai+bi, ai-bi
+	}
+}

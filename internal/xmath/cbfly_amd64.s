@@ -1,0 +1,260 @@
+// Fused radix-4 complex butterflies, two complex128 lanes per YMM.
+//
+// Complex multiply uses two duplicated-element multiplies and
+// VADDSUBPD (no FMA): for t = w*v,
+//   p1 = [vr*wr, vr*wi]   (re-dup(v) * w)
+//   p2 = [vi*wi, vi*wr]   (im-dup(v) * swap(w))
+//   t  = addsub(p1, p2) = [vr*wr - vi*wi, vr*wi + vi*wr]
+// These are exactly the products and sums of Go's complex128 multiply,
+// so the vector loops are bitwise equal to the scalar fallback.
+//
+// The w3 = -i*w2 twiddle is built by swapping w2's halves and flipping
+// the sign of the odd (imaginary) qword — both exact operations.
+
+#include "textflag.h"
+
+// Sign mask that negates the odd (imaginary) float64 of each lane.
+DATA signOdd<>+0(SB)/8, $0x0000000000000000
+DATA signOdd<>+8(SB)/8, $0x8000000000000000
+DATA signOdd<>+16(SB)/8, $0x0000000000000000
+DATA signOdd<>+24(SB)/8, $0x8000000000000000
+GLOBL signOdd<>(SB), RODATA, $32
+
+// Sign mask that negates the even (real) float64 of each lane, used to
+// build the inverse-direction w3 = +i*w2 = [-w2i, w2r] from swap(w2).
+DATA signEven<>+0(SB)/8, $0x8000000000000000
+DATA signEven<>+8(SB)/8, $0x0000000000000000
+DATA signEven<>+16(SB)/8, $0x8000000000000000
+DATA signEven<>+24(SB)/8, $0x0000000000000000
+GLOBL signEven<>(SB), RODATA, $32
+
+// The butterfly body shared by both loops. In: data in Y0..Y3
+// (a, b, c, d), twiddles in Y10/Y11 (w1, swap(w1)), Y12/Y13
+// (w2, swap(w2)), Y14/Y15 (w3, swap(w3)). Out: a', b', c', d' in
+// Y2, Y4, Y3, Y5.
+#define R4BODY \
+	VSHUFPD   $0x0, Y1, Y1, Y4  \ // re-dup(b)
+	VSHUFPD   $0xf, Y1, Y1, Y5  \ // im-dup(b)
+	VMULPD    Y10, Y4, Y4       \
+	VMULPD    Y11, Y5, Y5       \
+	VADDSUBPD Y5, Y4, Y4        \ // tb = w1*b
+	VSHUFPD   $0x0, Y3, Y3, Y5  \
+	VSHUFPD   $0xf, Y3, Y3, Y6  \
+	VMULPD    Y10, Y5, Y5       \
+	VMULPD    Y11, Y6, Y6       \
+	VADDSUBPD Y6, Y5, Y5        \ // td = w1*d
+	VADDPD    Y4, Y0, Y6        \ // a1 = a + tb
+	VSUBPD    Y4, Y0, Y7        \ // b1 = a - tb
+	VADDPD    Y5, Y2, Y8        \ // c1 = c + td
+	VSUBPD    Y5, Y2, Y9        \ // d1 = c - td
+	VSHUFPD   $0x0, Y8, Y8, Y0  \
+	VSHUFPD   $0xf, Y8, Y8, Y1  \
+	VMULPD    Y12, Y0, Y0       \
+	VMULPD    Y13, Y1, Y1       \
+	VADDSUBPD Y1, Y0, Y0        \ // tc = w2*c1
+	VSHUFPD   $0x0, Y9, Y9, Y1  \
+	VSHUFPD   $0xf, Y9, Y9, Y2  \
+	VMULPD    Y14, Y1, Y1       \
+	VMULPD    Y15, Y2, Y2       \
+	VADDSUBPD Y2, Y1, Y1        \ // te = w3*d1
+	VADDPD    Y0, Y6, Y2        \ // a' = a1 + tc
+	VSUBPD    Y0, Y6, Y3        \ // c' = a1 - tc
+	VADDPD    Y1, Y7, Y4        \ // b' = b1 + te
+	VSUBPD    Y1, Y7, Y5          // d' = b1 - te
+
+// func r4StageTwPairs(x *complex128, n, h int, tw1, tw2 *complex128)
+TEXT ·r4StageTwPairs(SB), NOSPLIT, $0-40
+	MOVQ x+0(FP), DI
+	MOVQ n+8(FP), R8
+	MOVQ h+16(FP), R9
+	MOVQ tw1+24(FP), R10
+	MOVQ tw2+32(FP), R11
+
+	MOVQ R9, R12
+	SHLQ $4, R12              // R12 = h*16, leg stride in bytes
+	SHLQ $4, R8
+	LEAQ (DI)(R8*1), R8       // R8 = end pointer
+	MOVQ DI, BX               // BX = current block base
+
+baseloop:
+	MOVQ BX, SI               // SI = &a[j]
+	MOVQ R10, R13             // tw1 cursor
+	MOVQ R11, R14             // tw2 cursor
+	MOVQ R9, CX
+	SHRQ $1, CX               // h/2 butterfly pairs
+
+jloop:
+	// Twiddle pair: w1, w2, derived swaps and w3 = -i*w2.
+	VMOVUPD (R13), Y10
+	VSHUFPD $0x5, Y10, Y10, Y11
+	VMOVUPD (R14), Y12
+	VSHUFPD $0x5, Y12, Y12, Y13
+	VXORPD  signOdd<>(SB), Y13, Y14
+	VSHUFPD $0x5, Y14, Y14, Y15
+
+	// Leg pointers: a=SI, b=SI+h, c=SI+2h, d=SI+3h (bytes via R12).
+	LEAQ (SI)(R12*1), DX
+	LEAQ (SI)(R12*2), AX
+	LEAQ (AX)(R12*1), R15
+
+	VMOVUPD (SI), Y0
+	VMOVUPD (DX), Y1
+	VMOVUPD (AX), Y2
+	VMOVUPD (R15), Y3
+
+	R4BODY
+
+	VMOVUPD Y2, (SI)
+	VMOVUPD Y4, (DX)
+	VMOVUPD Y3, (AX)
+	VMOVUPD Y5, (R15)
+
+	ADDQ $32, SI
+	ADDQ $32, R13
+	ADDQ $32, R14
+	DECQ CX
+	JNZ  jloop
+
+	LEAQ (BX)(R12*4), BX      // next 4h block
+	CMPQ BX, R8
+	JB   baseloop
+
+	VZEROUPPER
+	RET
+
+// func r4StageTwPairsInv(x *complex128, n, h int, tw1, tw2 *complex128)
+// Identical to r4StageTwPairs except w3 = +i*w2 (signEven mask): the
+// caller passes conjugated twiddle tables for the backward transform.
+TEXT ·r4StageTwPairsInv(SB), NOSPLIT, $0-40
+	MOVQ x+0(FP), DI
+	MOVQ n+8(FP), R8
+	MOVQ h+16(FP), R9
+	MOVQ tw1+24(FP), R10
+	MOVQ tw2+32(FP), R11
+
+	MOVQ R9, R12
+	SHLQ $4, R12
+	SHLQ $4, R8
+	LEAQ (DI)(R8*1), R8
+	MOVQ DI, BX
+
+invbaseloop:
+	MOVQ BX, SI
+	MOVQ R10, R13
+	MOVQ R11, R14
+	MOVQ R9, CX
+	SHRQ $1, CX
+
+invjloop:
+	VMOVUPD (R13), Y10
+	VSHUFPD $0x5, Y10, Y10, Y11
+	VMOVUPD (R14), Y12
+	VSHUFPD $0x5, Y12, Y12, Y13
+	VXORPD  signEven<>(SB), Y13, Y14
+	VSHUFPD $0x5, Y14, Y14, Y15
+
+	LEAQ (SI)(R12*1), DX
+	LEAQ (SI)(R12*2), AX
+	LEAQ (AX)(R12*1), R15
+
+	VMOVUPD (SI), Y0
+	VMOVUPD (DX), Y1
+	VMOVUPD (AX), Y2
+	VMOVUPD (R15), Y3
+
+	R4BODY
+
+	VMOVUPD Y2, (SI)
+	VMOVUPD Y4, (DX)
+	VMOVUPD Y3, (AX)
+	VMOVUPD Y5, (R15)
+
+	ADDQ $32, SI
+	ADDQ $32, R13
+	ADDQ $32, R14
+	DECQ CX
+	JNZ  invjloop
+
+	LEAQ (BX)(R12*4), BX
+	CMPQ BX, R8
+	JB   invbaseloop
+
+	VZEROUPPER
+	RET
+
+// func r4ColsPairs(a, b, c, d *complex128, np int, w1, w2 complex128)
+TEXT ·r4ColsPairs(SB), NOSPLIT, $0-72
+	MOVQ a+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ c+16(FP), DX
+	MOVQ d+24(FP), AX
+	MOVQ np+32(FP), CX
+
+	VBROADCASTF128 w1+40(FP), Y10
+	VSHUFPD        $0x5, Y10, Y10, Y11
+	VBROADCASTF128 w2+56(FP), Y12
+	VSHUFPD        $0x5, Y12, Y12, Y13
+	VXORPD         signOdd<>(SB), Y13, Y14
+	VSHUFPD        $0x5, Y14, Y14, Y15
+
+pairloop:
+	VMOVUPD (DI), Y0
+	VMOVUPD (SI), Y1
+	VMOVUPD (DX), Y2
+	VMOVUPD (AX), Y3
+
+	R4BODY
+
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y4, (SI)
+	VMOVUPD Y3, (DX)
+	VMOVUPD Y5, (AX)
+
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, AX
+	DECQ CX
+	JNZ  pairloop
+
+	VZEROUPPER
+	RET
+
+// func r4ColsPairsInv(a, b, c, d *complex128, np int, w1, w2 complex128)
+// Backward-direction broadcast butterfly: w3 = +i*w2 (signEven mask).
+TEXT ·r4ColsPairsInv(SB), NOSPLIT, $0-72
+	MOVQ a+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ c+16(FP), DX
+	MOVQ d+24(FP), AX
+	MOVQ np+32(FP), CX
+
+	VBROADCASTF128 w1+40(FP), Y10
+	VSHUFPD        $0x5, Y10, Y10, Y11
+	VBROADCASTF128 w2+56(FP), Y12
+	VSHUFPD        $0x5, Y12, Y12, Y13
+	VXORPD         signEven<>(SB), Y13, Y14
+	VSHUFPD        $0x5, Y14, Y14, Y15
+
+invpairloop:
+	VMOVUPD (DI), Y0
+	VMOVUPD (SI), Y1
+	VMOVUPD (DX), Y2
+	VMOVUPD (AX), Y3
+
+	R4BODY
+
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y4, (SI)
+	VMOVUPD Y3, (DX)
+	VMOVUPD Y5, (AX)
+
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, AX
+	DECQ CX
+	JNZ  invpairloop
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package xmath
+
+// hasCBflyASM is false off amd64: the butterfly helpers run their
+// scalar loops.
+const hasCBflyASM = false
+
+func r4StageTwPairs(x *complex128, n, h int, tw1, tw2 *complex128) {
+	panic("xmath: r4StageTwPairs without AVX")
+}
+
+func r4StageTwPairsInv(x *complex128, n, h int, tw1, tw2 *complex128) {
+	panic("xmath: r4StageTwPairsInv without AVX")
+}
+
+func r4ColsPairs(a, b, c, d *complex128, np int, w1, w2 complex128) {
+	panic("xmath: r4ColsPairs without AVX")
+}
+
+func r4ColsPairsInv(a, b, c, d *complex128, np int, w1, w2 complex128) {
+	panic("xmath: r4ColsPairsInv without AVX")
+}

@@ -1,0 +1,118 @@
+package xmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refBfly applies the fused radix-4 butterfly with plain Go complex
+// arithmetic, the ground truth both tiers must match bitwise.
+func refBfly(a, b, c, d, w1, w2 complex128, inverse bool) (complex128, complex128, complex128, complex128) {
+	tb := w1 * b
+	td := w1 * d
+	a1, b1 := a+tb, a-tb
+	c1, d1 := c+td, c-td
+	tc := w2 * c1
+	w3 := complex(imag(w2), -real(w2))
+	if inverse {
+		w3 = complex(-imag(w2), real(w2))
+	}
+	te := w3 * d1
+	return a1 + tc, b1 + te, a1 - tc, b1 - te
+}
+
+func randComplexes(rnd *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rnd.NormFloat64(), rnd.NormFloat64())
+	}
+	return x
+}
+
+func unit(ang float64) complex128 {
+	return complex(math.Cos(ang), math.Sin(ang))
+}
+
+func TestR4StageTwTiersBitwise(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for _, h := range []int{1, 2, 4, 8, 16, 32} {
+		for _, blocks := range []int{1, 2, 3} {
+			n := 4 * h * blocks
+			tw1 := make([]complex128, h)
+			tw2 := make([]complex128, h)
+			for j := 0; j < h; j++ {
+				tw1[j] = unit(-math.Pi * float64(j) / float64(h))
+				tw2[j] = unit(-math.Pi * float64(j) / float64(2*h))
+			}
+			x := randComplexes(rnd, n)
+
+			for _, inverse := range []bool{false, true} {
+				want := append([]complex128(nil), x...)
+				for base := 0; base < n; base += 4 * h {
+					for j := 0; j < h; j++ {
+						q := want[base : base+4*h]
+						q[j], q[j+h], q[j+2*h], q[j+3*h] =
+							refBfly(q[j], q[j+h], q[j+2*h], q[j+3*h], tw1[j], tw2[j], inverse)
+					}
+				}
+
+				for _, tier := range []SIMDTier{SIMDScalar, DetectedSIMD()} {
+					got := append([]complex128(nil), x...)
+					R4StageTwAt(tier, got, h, tw1, tw2, inverse)
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("tier=%v h=%d n=%d inv=%v: elem %d = %v, want %v",
+								tier, h, n, inverse, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestR4ColsTiersBitwise(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	w1 := unit(-0.3)
+	w2 := unit(-0.15)
+	// Odd lane counts exercise the scalar tail after the vector pairs.
+	for _, lanes := range []int{1, 2, 3, 7, 8, 9, 16} {
+		for _, inverse := range []bool{false, true} {
+			a := randComplexes(rnd, lanes)
+			b := randComplexes(rnd, lanes)
+			c := randComplexes(rnd, lanes)
+			d := randComplexes(rnd, lanes)
+
+			wa := append([]complex128(nil), a...)
+			wb := append([]complex128(nil), b...)
+			wc := append([]complex128(nil), c...)
+			wd := append([]complex128(nil), d...)
+			for i := 0; i < lanes; i++ {
+				wa[i], wb[i], wc[i], wd[i] = refBfly(a[i], b[i], c[i], d[i], w1, w2, inverse)
+			}
+
+			for _, tier := range []SIMDTier{SIMDScalar, DetectedSIMD()} {
+				ga := append([]complex128(nil), a...)
+				gb := append([]complex128(nil), b...)
+				gc := append([]complex128(nil), c...)
+				gd := append([]complex128(nil), d...)
+				R4ColsAt(tier, ga, gb, gc, gd, w1, w2, inverse)
+				for i := 0; i < lanes; i++ {
+					if ga[i] != wa[i] || gb[i] != wb[i] || gc[i] != wc[i] || gd[i] != wd[i] {
+						t.Fatalf("tier=%v lanes=%d inv=%v: lane %d mismatch", tier, lanes, inverse, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAddSubLanes(t *testing.T) {
+	a := []complex128{1 + 2i, 3i}
+	b := []complex128{5, 1 - 1i}
+	AddSubLanes(a, b)
+	if a[0] != 6+2i || b[0] != -4+2i || a[1] != 1+2i || b[1] != -1+4i {
+		t.Fatalf("AddSubLanes wrong: %v %v", a, b)
+	}
+}

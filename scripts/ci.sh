@@ -22,8 +22,8 @@ go test -race -short ./internal/core/... ./internal/faulttol/... ./internal/obs/
 # avx2 tier runs the 4/8-lane AVX2 kernels on hosts whose detected
 # tier is avx512 (the override can only lower the tier, so these are
 # no-ops on narrower hosts rather than failures).
-IDG_SIMD=scalar go test -race -short ./internal/core/ ./internal/xmath/
-IDG_SIMD=avx2 go test -race -short ./internal/core/ ./internal/xmath/
+IDG_SIMD=scalar go test -race -short ./internal/core/ ./internal/xmath/ ./internal/fft/
+IDG_SIMD=avx2 go test -race -short ./internal/core/ ./internal/xmath/ ./internal/fft/
 go test -race ./...
 go test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
 # Kill-and-resume chaos harness and the checkpoint round-trip golden
@@ -34,18 +34,21 @@ go test -race -run 'Facade|Chaos|Cancel|Shard|Soak|Streamed|Checkpoint|Resume|Ki
 scripts/bench.sh -short
 
 # Performance regression gate: briefly re-measure the four kernel
-# benchmarks (both precisions) and compare their MVis/s against
-# BENCH_kernels.json; a slowdown beyond BENCH_THRESHOLD percent
-# (default 10) fails CI. The float32 kernels are in the gate because
-# they are the SIMD dispatch layer's reason to exist: losing the
-# vector path (a dispatch regression) roughly halves their MVis/s,
-# far beyond any threshold. -allow-missing because this is a
-# deliberate subset run: the baseline holds the full bench.sh set, CI
-# re-measures only the kernels. -count 3 because benchjson gates on
-# the best duplicate run — single-sample minima on a shared CI box
-# measure scheduling noise, not regressions.
+# benchmarks (both precisions) plus the two FFT-stage benchmarks and
+# compare their throughput against BENCH_kernels.json; a slowdown
+# beyond BENCH_THRESHOLD percent (default 10) fails CI. The float32
+# kernels are in the gate because they are the SIMD dispatch layer's
+# reason to exist: losing the vector path (a dispatch regression)
+# roughly halves their MVis/s, far beyond any threshold. The FFT
+# benchmarks guard the radix-4 engine the same way: falling back to
+# the seed per-plane path is a >3x slowdown on the subgrid stage.
+# -allow-missing because this is a deliberate subset run: the
+# baseline holds the full bench.sh set, CI re-measures only the
+# kernels. -count 3 because benchjson gates on the best duplicate
+# run — single-sample minima on a shared CI box measure scheduling
+# noise, not regressions.
 out="$(mktemp)"
 trap 'rm -f "$out"' EXIT
-go test -run '^$' -bench 'BenchmarkGridderKernel$|BenchmarkGridderKernelFloat32$|BenchmarkDegridderKernel$|BenchmarkDegridderKernelFloat32$' -benchtime 1s -count 3 . |
+go test -run '^$' -bench 'BenchmarkGridderKernel$|BenchmarkGridderKernelFloat32$|BenchmarkDegridderKernel$|BenchmarkDegridderKernelFloat32$|BenchmarkSubgridFFTStage$|BenchmarkGridFFT2048$' -benchtime 1s -count 3 . |
     go run ./cmd/benchjson > "$out"
 go run ./cmd/benchjson -compare -allow-missing -threshold "${BENCH_THRESHOLD:-10}" BENCH_kernels.json "$out"
