@@ -1,0 +1,114 @@
+// Command idgserver runs the gridding-as-a-service server: a
+// long-running multi-tenant HTTP endpoint where clients open
+// observation sessions (POST a plan config), stream visibility chunks
+// over the length-prefixed binary wire format, and fetch the finished
+// grid. SIGTERM/SIGINT triggers a graceful drain: admissions stop,
+// active sessions get -drain-timeout to finish (checkpointing
+// sessions keep their last durable snapshot), stragglers are
+// canceled, and the process exits with an empty session registry.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "idgserver:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8321", "listen address (host:port; port 0 asks the kernel)")
+		addrFile      = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		maxSessions   = flag.Int("max-sessions", 0, "global concurrent session cap (0: 64)")
+		tenantSess    = flag.Int("tenant-sessions", 0, "per-tenant concurrent session quota (0: 4)")
+		tenantChunks  = flag.Int("tenant-inflight", 0, "per-tenant in-flight streaming chunk budget (0: 64)")
+		sessionChunks = flag.Int("session-inflight", 0, "MaxInflightChunks assigned to sessions that request none (0: 4)")
+		idleTimeout   = flag.Duration("idle-timeout", 0, "expire sessions untouched this long (0: 2m)")
+		drainTimeout  = flag.Duration("drain-timeout", 0, "graceful drain bound on shutdown (0: 30s)")
+		maxFrame      = flag.Int("max-frame-bytes", 0, "wire frame payload cap in bytes (0: 4 MiB)")
+		ckptRoot      = flag.String("checkpoint-root", "", "allow sessions to checkpoint, each under its own directory here (empty: reject checkpoint requests)")
+		metrics       = flag.Bool("metrics", false, "print the session metrics registry at exit")
+	)
+	flag.Parse()
+
+	// Mirror the server's typed config validation so bad knobs fail
+	// here with a usage-shaped message instead of deep inside New.
+	switch {
+	case *maxSessions < 0:
+		fail(fmt.Errorf("-max-sessions must be >= 0, got %d", *maxSessions))
+	case *tenantSess < 0:
+		fail(fmt.Errorf("-tenant-sessions must be >= 0, got %d", *tenantSess))
+	case *tenantChunks < 0:
+		fail(fmt.Errorf("-tenant-inflight must be >= 0, got %d", *tenantChunks))
+	case *sessionChunks < 0:
+		fail(fmt.Errorf("-session-inflight must be >= 0, got %d", *sessionChunks))
+	case *idleTimeout < 0:
+		fail(fmt.Errorf("-idle-timeout must be >= 0, got %v", *idleTimeout))
+	case *drainTimeout < 0:
+		fail(fmt.Errorf("-drain-timeout must be >= 0, got %v", *drainTimeout))
+	case *maxFrame < 0:
+		fail(fmt.Errorf("-max-frame-bytes must be >= 0, got %d", *maxFrame))
+	}
+	if _, port, err := net.SplitHostPort(*addr); err != nil {
+		fail(fmt.Errorf("-addr %q is not host:port: %v", *addr, err))
+	} else if p, err := strconv.Atoi(port); err != nil || p < 0 || p > 65535 {
+		fail(fmt.Errorf("-addr port %q outside [0, 65535]", port))
+	}
+
+	observer := repro.NewObserver(0)
+	cfg := repro.GridServerConfig{
+		Addr:                   *addr,
+		MaxSessions:            *maxSessions,
+		MaxSessionsPerTenant:   *tenantSess,
+		MaxInflightPerTenant:   *tenantChunks,
+		SessionInflightDefault: *sessionChunks,
+		IdleTimeout:            *idleTimeout,
+		DrainTimeout:           *drainTimeout,
+		MaxFrameBytes:          *maxFrame,
+		CheckpointRoot:         *ckptRoot,
+		Observer:               observer,
+	}
+	srv, err := repro.NewGridServer(cfg, &repro.ServerBackend{})
+	if err != nil {
+		fail(err)
+	}
+	if err := srv.Start(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("idgserver: listening on %s\n", srv.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			fail(err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Println("idgserver: draining...")
+	t0 := time.Now()
+	if err := srv.Drain(context.Background()); err != nil {
+		fail(err)
+	}
+	fmt.Printf("idgserver: drained in %v, %d sessions left\n",
+		time.Since(t0).Round(time.Millisecond), srv.ActiveSessions())
+	if *metrics {
+		observer.Metrics.Snapshot().Table().Render(os.Stdout)
+	}
+	if srv.ActiveSessions() != 0 {
+		os.Exit(1)
+	}
+}

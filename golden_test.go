@@ -2,12 +2,8 @@ package repro
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"encoding/json"
 	"flag"
-	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -27,16 +23,12 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden grid conforman
 const goldenGridFile = "testdata/golden_grid.json"
 
 // goldenGrid is the committed fingerprint of one deterministic
-// grid->FFT->add pass. The hash pins the exact bits; the diagnostics
-// exist so a mismatch tells a human roughly what moved (energy,
-// support, peak) without bisecting first.
-type goldenGrid struct {
-	SHA256   string  `json:"sha256"`
-	GridSize int     `json:"grid_size"`
-	SumAbs   float64 `json:"sum_abs"`
-	PeakAbs  float64 `json:"peak_abs"`
-	Nonzero  int     `json:"nonzero"`
-}
+// grid->FFT->add pass: the exported GridFingerprint (the same hash the
+// server's session results carry, so wire-streamed sessions are
+// comparable against this file's currency). The hash pins the exact
+// bits; the diagnostics exist so a mismatch tells a human roughly what
+// moved (energy, support, peak) without bisecting first.
+type goldenGrid = GridFingerprint
 
 // goldenObservation builds the fixed observation the golden file is
 // keyed to. Everything that could perturb the output bits is pinned:
@@ -84,34 +76,11 @@ func goldenObservation(t *testing.T) *Observation {
 
 // fingerprintGrid hashes the little-endian float64 bytes of every
 // correlation plane (real then imaginary per cell) and collects the
-// human-readable diagnostics.
+// human-readable diagnostics; it delegates to the exported
+// FingerprintGrid so the golden file, the serving path and client-side
+// verification all hash identically.
 func fingerprintGrid(g *grid.Grid) goldenGrid {
-	h := sha256.New()
-	var buf [16]byte
-	sum, peak := 0.0, 0.0
-	nonzero := 0
-	for c := 0; c < grid.NrCorrelations; c++ {
-		for _, v := range g.Data[c] {
-			binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(real(v)))
-			binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(v)))
-			h.Write(buf[:])
-			a := math.Hypot(real(v), imag(v))
-			sum += a
-			if a > peak {
-				peak = a
-			}
-			if v != 0 {
-				nonzero++
-			}
-		}
-	}
-	return goldenGrid{
-		SHA256:   hex.EncodeToString(h.Sum(nil)),
-		GridSize: g.N,
-		SumAbs:   sum,
-		PeakAbs:  peak,
-		Nonzero:  nonzero,
-	}
+	return FingerprintGrid(g)
 }
 
 // TestGoldenGridConformance runs the full grid -> subgrid FFT -> adder

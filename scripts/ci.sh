@@ -14,9 +14,9 @@ go build ./...
 # kernels are amd64-only; arm64 exercises the !amd64 stub files).
 GOOS=linux GOARCH=arm64 go build ./...
 # Fast-fail race pass over the concurrency-heavy packages (pipelines,
-# fault tolerance, the lock-free metrics/tracer) in short mode before
-# paying for the full raced suite below.
-go test -race -short ./internal/core/... ./internal/faulttol/... ./internal/obs/... ./internal/checkpoint/...
+# fault tolerance, the lock-free metrics/tracer, the session server)
+# in short mode before paying for the full raced suite below.
+go test -race -short ./internal/core/... ./internal/faulttol/... ./internal/obs/... ./internal/checkpoint/... ./internal/server/...
 # The same short race pass with the SIMD tier forced down via the
 # IDG_SIMD override: the scalar tier runs the generic Go tiles, the
 # avx2 tier runs the 4/8-lane AVX2 kernels on hosts whose detected
@@ -31,6 +31,12 @@ go test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
 # coordinating goroutine and the resumed grid must still hash to the
 # committed golden fingerprint.
 go test -race -run 'Facade|Chaos|Cancel|Shard|Soak|Streamed|Checkpoint|Resume|Kill' . ./internal/core/ ./internal/checkpoint/
+# Server integration pass: build the service binaries, boot idgserver
+# on a kernel-assigned port, replay a short multi-tenant idgload run
+# with -verify (every session's grid SHA-256 checked against the
+# locally computed golden hash), then SIGTERM and require a clean
+# drain (the server exits non-zero if any session survives it).
+scripts/server_smoke.sh
 scripts/bench.sh -short
 
 # Performance regression gate: briefly re-measure the four kernel

@@ -1,0 +1,56 @@
+#!/bin/sh
+# End-to-end smoke of the gridding service: boot idgserver on a
+# kernel-assigned loopback port, run a short multi-tenant idgload pass
+# with -verify (every session's grid SHA-256 must match the locally
+# computed golden hash), then SIGTERM the server and require a clean
+# graceful drain — idgserver exits non-zero if any session survives
+# its drain, and this script propagates both exit codes.
+set -eux
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -KILL "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/idgserver" ./cmd/idgserver
+go build -o "$workdir/idgload" ./cmd/idgload
+
+"$workdir/idgserver" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+    -drain-timeout 10s >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+# Wait for the server to publish its bound address.
+i=0
+while [ ! -s "$workdir/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "idgserver never published its address" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    fi
+    kill -0 "$server_pid" 2>/dev/null || { cat "$workdir/server.log" >&2; exit 1; }
+    sleep 0.1
+done
+addr="$(cat "$workdir/addr")"
+
+# A small verified load: 2 tenants x 2 sessions of a tiny observation.
+# -verify makes this a conformance check, not just a smoke test: the
+# wire-streamed grids must hash identically to the local pass.
+"$workdir/idgload" -addr "http://$addr" \
+    -tenants 2 -sessions 2 -concurrency 2 \
+    -stations 6 -steps 16 -channels 2 -grid 128 -subgrid 16 \
+    -verify
+
+# Graceful drain: SIGTERM, then the server must exit 0 (it exits 1 on
+# a non-empty session registry after drain).
+kill -TERM "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+server_pid=""
+cat "$workdir/server.log"
+exit "$server_rc"
