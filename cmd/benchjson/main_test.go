@@ -226,3 +226,53 @@ func TestCompareNothingComparableErrors(t *testing.T) {
 		t.Fatal("disjoint benchmark sets must be an error, not a silent pass")
 	}
 }
+
+// bestRuns must keep first-appearance order and pick the
+// best-throughput duplicate — the committed-baseline path of -best,
+// and since the compare gate now collapses the baseline side too, a
+// -count N baseline must gate exactly like a -best one.
+func TestBestRunsCollapsesDuplicates(t *testing.T) {
+	in := []Benchmark{
+		visBench("BenchmarkA", 0.20),
+		visBench("BenchmarkB", 0.50),
+		visBench("BenchmarkA", 0.30), // best A
+		visBench("BenchmarkB", 0.40),
+		visBench("BenchmarkA", 0.10),
+	}
+	out := bestRuns(in)
+	if len(out) != 2 {
+		t.Fatalf("collapsed to %d entries, want 2: %+v", len(out), out)
+	}
+	if out[0].Name != "BenchmarkA" || out[1].Name != "BenchmarkB" {
+		t.Fatalf("order not preserved: %+v", out)
+	}
+	if *out[0].VisPerSec != 0.30e6 || *out[1].VisPerSec != 0.50e6 {
+		t.Fatalf("best runs not selected: A=%v B=%v", *out[0].VisPerSec, *out[1].VisPerSec)
+	}
+}
+
+// A baseline holding duplicate runs (written without -best) must not
+// produce spurious missing-benchmark failures: each name is compared
+// once, best against best.
+func TestCompareDuplicateBaseline(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkX", 0.30),
+		visBench("BenchmarkX", 0.32),
+		visBench("BenchmarkX", 0.29),
+	}})
+	newP := writeReport(t, dir, "new.json", &Report{Benchmarks: []Benchmark{
+		visBench("BenchmarkX", 0.31),
+	}})
+	var sb strings.Builder
+	ok, err := runCompare(&sb, oldP, newP, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("duplicate-baseline compare failed:\n%s", sb.String())
+	}
+	if n := strings.Count(sb.String(), "BenchmarkX"); n != 1 {
+		t.Fatalf("BenchmarkX compared %d times, want once:\n%s", n, sb.String())
+	}
+}

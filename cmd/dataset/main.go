@@ -55,14 +55,7 @@ func runGenerate(path string, stations, steps, channels, sources int, sigma floa
 	if err != nil {
 		fail(err)
 	}
-	pix := obs.ImageSize / float64(cfg.GridSize)
-	model := make(repro.SkyModel, 0, sources)
-	offsets := [][3]float64{{40, -24, 1.0}, {-72, 52, 0.6}, {16, 88, 0.4}, {-30, -70, 0.3}}
-	for i := 0; i < sources && i < len(offsets); i++ {
-		model = append(model, repro.PointSource{
-			L: offsets[i][0] * pix, M: offsets[i][1] * pix, I: offsets[i][2],
-		})
-	}
+	model := repro.StandardSkyModel(obs, sources)
 	if err := obs.FillFromModel(model); err != nil {
 		fail(err)
 	}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildDataset compiles the dataset binary into a temp dir once per
+// test process. Exec-level tests pin the CLI contract scripts rely
+// on: -verify must exit non-zero on a corrupt file, not print OK.
+func buildDataset(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "dataset")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestVerifyExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the dataset binary in -short mode")
+	}
+	bin := buildDataset(t)
+	path := filepath.Join(t.TempDir(), "obs.idg")
+
+	out, err := exec.Command(bin, "-generate", path, "-stations", "6", "-steps", "8", "-channels", "2").CombinedOutput()
+	if err != nil {
+		t.Fatalf("generate: %v\n%s", err, out)
+	}
+
+	// A pristine file verifies with exit code 0 and an OK line.
+	out, err = exec.Command(bin, "-verify", path).CombinedOutput()
+	if err != nil {
+		t.Fatalf("verify of pristine file failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "OK") {
+		t.Fatalf("verify output lacks OK: %s", out)
+	}
+
+	// Flip one payload byte mid-file: -verify must exit non-zero (the
+	// checksum catches it) and must not claim OK.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(bin, "-verify", path).CombinedOutput()
+	if err == nil {
+		t.Fatalf("verify of corrupt file exited 0:\n%s", out)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("verify did not run to a non-zero exit: %v", err)
+	}
+	if strings.Contains(string(out), "OK") {
+		t.Fatalf("verify printed OK for a corrupt file:\n%s", out)
+	}
+
+	// A truncated file must also fail.
+	if err := os.WriteFile(path, raw[:len(raw)-16], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "-verify", path).CombinedOutput(); err == nil {
+		t.Fatalf("verify of truncated file exited 0:\n%s", out)
+	}
+
+	// No mode flag at all is a usage error (exit 2), not a crash.
+	if _, err := exec.Command(bin).CombinedOutput(); err == nil {
+		t.Fatal("bare invocation exited 0, want usage error")
+	}
+}

@@ -1,0 +1,79 @@
+package aterm
+
+import "testing"
+
+// Table-driven edge cases for the slot scheduler: degenerate
+// intervals, negative time steps (Go integer division truncates
+// toward zero, so small negative t still lands in slot 0), and
+// NrSlots rounding at and around exact interval multiples.
+
+func TestSchedulerSlotEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		interval int
+		t        int
+		want     int
+	}{
+		{"zero interval collapses", 0, 1000, 0},
+		{"negative interval collapses", -7, 1000, 0},
+		{"negative t truncates to slot 0", 256, -1, 0},
+		{"negative t full interval", 256, -256, -1},
+		{"interval 1 is the identity", 1, 42, 42},
+		{"last step of slot 0", 16, 15, 0},
+		{"first step of slot 1", 16, 16, 1},
+		{"exact multiple boundary", 16, 48, 3},
+		{"one before a multiple", 16, 47, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Scheduler{UpdateInterval: tc.interval}
+			if got := s.Slot(tc.t); got != tc.want {
+				t.Errorf("Scheduler{%d}.Slot(%d) = %d, want %d", tc.interval, tc.t, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSchedulerNrSlotsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name        string
+		interval    int
+		nrTimesteps int
+		want        int
+	}{
+		{"zero interval is one slot", 0, 8192, 1},
+		{"negative interval is one slot", -3, 8192, 1},
+		{"zero timesteps", 16, 0, 0},
+		{"exact multiple needs no extra slot", 16, 48, 3},
+		{"one past a multiple rounds up", 16, 49, 4},
+		{"one short of a multiple rounds up", 16, 47, 3},
+		{"single timestep", 16, 1, 1},
+		{"interval 1 counts every step", 1, 37, 37},
+		{"interval larger than run", 256, 100, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := Scheduler{UpdateInterval: tc.interval}
+			if got := s.NrSlots(tc.nrTimesteps); got != tc.want {
+				t.Errorf("Scheduler{%d}.NrSlots(%d) = %d, want %d", tc.interval, tc.nrTimesteps, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSchedulerSlotNrSlotsConsistent pins the invariant the planner
+// relies on: every in-range time step maps to a slot below
+// NrSlots(nrTimesteps).
+func TestSchedulerSlotNrSlotsConsistent(t *testing.T) {
+	for _, interval := range []int{0, 1, 3, 16, 256} {
+		s := Scheduler{UpdateInterval: interval}
+		for _, n := range []int{1, 15, 16, 17, 48, 255, 256, 257} {
+			slots := s.NrSlots(n)
+			for step := 0; step < n; step++ {
+				if got := s.Slot(step); got < 0 || got >= slots {
+					t.Fatalf("interval %d: Slot(%d) = %d outside [0, NrSlots(%d)=%d)", interval, step, got, n, slots)
+				}
+			}
+		}
+	}
+}

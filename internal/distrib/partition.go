@@ -1,0 +1,138 @@
+// Package distrib distributes one imaging pass across N worker
+// processes: the execution plan is partitioned along one of two axes
+// (uv row bands or W-layers), every worker runs the streamed chunk
+// scheduler over its own partition — with its own checkpoint
+// directory, so a killed worker resumes bit-identically — and the
+// partial grids are merged by a binary tree reduction, transported
+// over the length-prefixed CRC-64 frame format of internal/server.
+//
+// The package owns the partition math, the reduction wire frames, the
+// tree reduction and the coordinator; the gridding itself is injected
+// through the Launcher interface, which the facade implements on
+// Observation (in-process goroutine workers) and cmd/idgdistrib
+// implements by exec'ing cmd/idgworker.
+package distrib
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/plan"
+)
+
+// Axis selects the partition axis of a distributed run.
+type Axis int
+
+const (
+	// AxisRows partitions work items by the uv row band holding their
+	// subgrid's center row — the same balanced row split the sharded
+	// adder uses, extended across process boundaries. Subgrids overlap
+	// band edges, so partial grids overlap by at most a subgrid height
+	// and the reduction adds the overlap.
+	AxisRows Axis = iota
+	// AxisWPlanes partitions work items by W-layer index modulo the
+	// worker count — the natural axis when W-stacking is on, since a
+	// layer's subgrids share their W-screen work.
+	AxisWPlanes
+)
+
+// String names the axis the way the CLI flags spell it.
+func (a Axis) String() string {
+	switch a {
+	case AxisRows:
+		return "rows"
+	case AxisWPlanes:
+		return "wplanes"
+	default:
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+}
+
+// ParseAxis converts "rows" or "wplanes".
+func ParseAxis(s string) (Axis, error) {
+	switch s {
+	case "rows":
+		return AxisRows, nil
+	case "wplanes":
+		return AxisWPlanes, nil
+	default:
+		return 0, fmt.Errorf("distrib: unknown partition axis %q (want rows or wplanes)", s)
+	}
+}
+
+// RowBounds returns the balanced partition of gridSize rows across
+// workers: workers+1 boundaries where worker i owns rows
+// [bounds[i], bounds[i+1]). It is grid.ShardBounds — the distributed
+// row partition is the sharded adder's band split, one process per
+// band instead of one lock. Workers beyond gridSize own empty bands.
+func RowBounds(gridSize, workers int) []int {
+	return grid.ShardBounds(gridSize, workers)
+}
+
+// RowOwner returns the worker owning grid row in a RowBounds
+// partition, computed in closed form: the first gridSize%workers
+// bands carry one extra row. Every row of [0, gridSize) has exactly
+// one owner and the owners cover [0, min(workers, gridSize)).
+func RowOwner(gridSize, workers, row int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > gridSize {
+		workers = gridSize
+	}
+	base, rem := gridSize/workers, gridSize%workers
+	wide := rem * (base + 1) // rows held by the widened bands
+	if row < wide {
+		return row / (base + 1)
+	}
+	return rem + (row-wide)/base
+}
+
+// WPlaneOwner returns the worker owning a W-layer. Plane indices are
+// signed (plan.Plan rounds w/WStepLambda to the nearest integer), so
+// the mapping is the non-negative residue of plane mod workers.
+func WPlaneOwner(workers, plane int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	m := plane % workers
+	if m < 0 {
+		m += workers
+	}
+	return m
+}
+
+// ItemOwner returns the worker owning one work item under the given
+// axis. For AxisRows the item belongs to the band holding its
+// subgrid's center row; for AxisWPlanes to its W-layer's owner.
+func ItemOwner(it *plan.WorkItem, axis Axis, gridSize, subgridSize, workers int) int {
+	switch axis {
+	case AxisWPlanes:
+		return WPlaneOwner(workers, it.WPlane)
+	default:
+		return RowOwner(gridSize, workers, it.Y0+subgridSize/2)
+	}
+}
+
+// FilterPlan returns the sub-plan of the items worker index owns
+// under the axis, preserving plan order — so a single worker's
+// streamed pass accumulates its partition in exactly the order the
+// serial pipeline would have, and the one-worker distributed run is
+// bit-identical to the serial run. The sub-plan shares the parent's
+// Config (and carries the full observation's DroppedVisibilities
+// count, which is partition-independent).
+func FilterPlan(p *plan.Plan, axis Axis, workers, index int) (*plan.Plan, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("distrib: need at least one worker, got %d", workers)
+	}
+	if index < 0 || index >= workers {
+		return nil, fmt.Errorf("distrib: worker index %d outside [0, %d)", index, workers)
+	}
+	sub := &plan.Plan{Config: p.Config, DroppedVisibilities: p.DroppedVisibilities}
+	for i := range p.Items {
+		if ItemOwner(&p.Items[i], axis, p.GridSize, p.SubgridSize, workers) == index {
+			sub.Items = append(sub.Items, p.Items[i])
+		}
+	}
+	return sub, nil
+}

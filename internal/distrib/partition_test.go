@@ -1,0 +1,172 @@
+package distrib
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+// TestRowBoundsGolden pins the balanced row partition on hand-checked
+// cases, including non-divisible sizes (the first rem bands get the
+// extra rows) and more workers than rows.
+func TestRowBoundsGolden(t *testing.T) {
+	cases := []struct {
+		gridSize, workers int
+		want              []int
+	}{
+		{8, 1, []int{0, 8}},
+		{8, 2, []int{0, 4, 8}},
+		{8, 3, []int{0, 3, 6, 8}},
+		{7, 4, []int{0, 2, 4, 6, 7}},
+		{256, 8, []int{0, 32, 64, 96, 128, 160, 192, 224, 256}},
+		{10, 10, []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+		{3, 5, []int{0, 1, 2, 3}}, // clamped to one row per band
+	}
+	for _, c := range cases {
+		if got := RowBounds(c.gridSize, c.workers); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("RowBounds(%d, %d) = %v, want %v", c.gridSize, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestRowOwnerMatchesBounds is the property test of the closed-form
+// owner: for every (gridSize, workers) pair in a table of divisible
+// and non-divisible sizes, every row has exactly one owner and the
+// owner is the band RowBounds assigns it to — so partition (owners)
+// and coverage (bounds) can never drift apart.
+func TestRowOwnerMatchesBounds(t *testing.T) {
+	for _, gridSize := range []int{1, 2, 3, 7, 8, 16, 100, 256, 257} {
+		for _, workers := range []int{1, 2, 3, 4, 5, 8, 16, 300} {
+			bounds := RowBounds(gridSize, workers)
+			covered := 0
+			for band := 0; band+1 < len(bounds); band++ {
+				for row := bounds[band]; row < bounds[band+1]; row++ {
+					covered++
+					if got := RowOwner(gridSize, workers, row); got != band {
+						t.Fatalf("RowOwner(%d, %d, %d) = %d, want band %d", gridSize, workers, row, got, band)
+					}
+				}
+			}
+			if covered != gridSize {
+				t.Fatalf("RowBounds(%d, %d) covers %d rows", gridSize, workers, covered)
+			}
+		}
+	}
+}
+
+// TestWPlaneOwnerTotal checks the W-axis partition is total over
+// signed plane indices: exactly one owner in [0, workers) for every
+// plane, and planes congruent mod workers share an owner.
+func TestWPlaneOwnerTotal(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		for plane := -25; plane <= 25; plane++ {
+			got := WPlaneOwner(workers, plane)
+			if got < 0 || got >= workers {
+				t.Fatalf("WPlaneOwner(%d, %d) = %d outside [0, %d)", workers, plane, got, workers)
+			}
+			if want := WPlaneOwner(workers, plane+workers); got != want {
+				t.Fatalf("WPlaneOwner(%d, %d) = %d but plane+workers owns %d", workers, plane, got, want)
+			}
+		}
+	}
+	if got := WPlaneOwner(4, -1); got != 3 {
+		t.Fatalf("WPlaneOwner(4, -1) = %d, want 3 (non-negative residue)", got)
+	}
+}
+
+// syntheticPlan builds a plan whose items sweep subgrid anchors across
+// the grid and W-layers across a signed range, so both partition axes
+// see non-trivial, non-divisible distributions.
+func syntheticPlan(gridSize, subgridSize, items int) *plan.Plan {
+	p := &plan.Plan{Config: plan.Config{GridSize: gridSize, SubgridSize: subgridSize}}
+	for i := 0; i < items; i++ {
+		p.Items = append(p.Items, plan.WorkItem{
+			Baseline: i,
+			X0:       (i * 7) % (gridSize - subgridSize + 1),
+			Y0:       (i * 13) % (gridSize - subgridSize + 1),
+			WPlane:   (i % 11) - 5, // signed planes, like plan's rounding produces
+		})
+	}
+	return p
+}
+
+// TestFilterPlanPartitions is the partition property test on plans:
+// for both axes and worker counts including non-divisible ones, the
+// sub-plans are disjoint, their union is exactly the parent plan, and
+// each preserves the parent's item order.
+func TestFilterPlanPartitions(t *testing.T) {
+	parent := syntheticPlan(100, 12, 240)
+	for _, axis := range []Axis{AxisRows, AxisWPlanes} {
+		for _, workers := range []int{1, 2, 3, 4, 7, 8} {
+			var union []plan.WorkItem
+			seen := make(map[int]int) // baseline (unique per item) -> owner
+			for w := 0; w < workers; w++ {
+				sub, err := FilterPlan(parent, axis, workers, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(sub.Config, parent.Config) {
+					t.Fatalf("axis %v: sub-plan config differs from parent", axis)
+				}
+				last := -1
+				for _, it := range sub.Items {
+					if prev, dup := seen[it.Baseline]; dup {
+						t.Fatalf("axis %v workers %d: item %d owned by both %d and %d", axis, workers, it.Baseline, prev, w)
+					}
+					seen[it.Baseline] = w
+					if it.Baseline <= last {
+						t.Fatalf("axis %v workers %d: worker %d sub-plan out of parent order", axis, workers, w)
+					}
+					last = it.Baseline
+				}
+				union = append(union, sub.Items...)
+			}
+			if len(union) != len(parent.Items) {
+				t.Fatalf("axis %v workers %d: union has %d items, parent %d", axis, workers, len(union), len(parent.Items))
+			}
+		}
+	}
+}
+
+// TestFilterPlanSingleWorkerIdentity pins the bit-identity premise of
+// the one-worker distributed run: the whole parent plan, in order.
+func TestFilterPlanSingleWorkerIdentity(t *testing.T) {
+	parent := syntheticPlan(64, 8, 50)
+	for _, axis := range []Axis{AxisRows, AxisWPlanes} {
+		sub, err := FilterPlan(parent, axis, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sub.Items, parent.Items) {
+			t.Fatalf("axis %v: 1-worker sub-plan is not the parent plan", axis)
+		}
+	}
+}
+
+// TestFilterPlanRejects covers the argument validation.
+func TestFilterPlanRejects(t *testing.T) {
+	parent := syntheticPlan(32, 8, 4)
+	if _, err := FilterPlan(parent, AxisRows, 0, 0); err == nil {
+		t.Error("FilterPlan accepted zero workers")
+	}
+	if _, err := FilterPlan(parent, AxisRows, 4, 4); err == nil {
+		t.Error("FilterPlan accepted index == workers")
+	}
+	if _, err := FilterPlan(parent, AxisRows, 4, -1); err == nil {
+		t.Error("FilterPlan accepted a negative index")
+	}
+}
+
+// TestParseAxis round-trips the axis names the CLI flags use.
+func TestParseAxis(t *testing.T) {
+	for _, a := range []Axis{AxisRows, AxisWPlanes} {
+		got, err := ParseAxis(a.String())
+		if err != nil || got != a {
+			t.Fatalf("ParseAxis(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAxis("diagonal"); err == nil {
+		t.Error("ParseAxis accepted an unknown axis")
+	}
+}

@@ -1,0 +1,46 @@
+package distrib
+
+import "sync"
+
+import "repro/internal/grid"
+
+// TreeReduce merges the partial grids into gs[0] by a binary reduction
+// tree: in round r (stride s = 2^r) every grid at index i with
+// i % 2s == 0 absorbs the grid at i+s, so N partials merge in
+// ceil(log2 N) rounds with the merges of one round running
+// concurrently. The tree's associativity is fixed by index, never by
+// arrival order or goroutine scheduling, so a distributed run's final
+// grid is a deterministic function of its partials — the property the
+// chaos suite leans on when it demands a killed-and-resumed run hash
+// identically to a clean one.
+//
+// Entries may be nil (a worker that contributed nothing); a nil
+// absorbs into its partner by pointer swap. The merged grid is
+// returned (nil only if every entry was nil). gs is consumed: the
+// non-root entries are left in an unspecified state.
+func TreeReduce(gs []*grid.Grid) *grid.Grid {
+	n := len(gs)
+	for stride := 1; stride < n; stride *= 2 {
+		var wg sync.WaitGroup
+		for i := 0; i+stride < n; i += 2 * stride {
+			a, b := i, i+stride
+			if gs[b] == nil {
+				continue
+			}
+			if gs[a] == nil {
+				gs[a], gs[b] = gs[b], nil
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				gs[a].AddGrid(gs[b])
+			}()
+		}
+		wg.Wait()
+	}
+	if n == 0 {
+		return nil
+	}
+	return gs[0]
+}

@@ -1,0 +1,80 @@
+package distrib
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// partialGrids builds n deterministic partials whose sum is known.
+func partialGrids(n, size int) []*grid.Grid {
+	gs := make([]*grid.Grid, n)
+	for i := range gs {
+		gs[i] = grid.NewGrid(size)
+		for c := 0; c < grid.NrCorrelations; c++ {
+			for j := range gs[i].Data[c] {
+				gs[i].Data[c][j] = complex(float64(i+1)*0.1, float64(j%7)*float64(i+1))
+			}
+		}
+	}
+	return gs
+}
+
+// TestTreeReduceDeterministic runs the reduction many times over
+// clones of the same partials (including non-power-of-two counts) and
+// requires bit-identical results every time: the tree's associativity
+// is fixed by index, not by goroutine scheduling.
+func TestTreeReduceDeterministic(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		src := partialGrids(n, 16)
+		clone := func() []*grid.Grid {
+			gs := make([]*grid.Grid, len(src))
+			for i := range src {
+				gs[i] = src[i].Clone()
+			}
+			return gs
+		}
+		want := FingerprintOf(TreeReduce(clone()))
+		for rep := 0; rep < 20; rep++ {
+			if got := FingerprintOf(TreeReduce(clone())); got != want {
+				t.Fatalf("n=%d: reduction %d hashed differently", n, rep)
+			}
+		}
+	}
+}
+
+// TestTreeReduceMatchesSerialSum checks the reduced grid is the sum of
+// its partials to reassociation tolerance (exact here: the test
+// values sum without rounding at any tree shape is not guaranteed, so
+// compare against the serial left-fold with a 1e-12 relative bound).
+func TestTreeReduceMatchesSerialSum(t *testing.T) {
+	src := partialGrids(5, 16)
+	serial := src[0].Clone()
+	for _, g := range src[1:] {
+		serial.AddGrid(g)
+	}
+	reduced := TreeReduce(src) // consumes src
+	fp := FingerprintOf(serial)
+	if d := reduced.MaxAbsDiff(serial); d > 1e-12*fp.PeakAbs {
+		t.Fatalf("tree reduction differs from serial sum by %g (peak %g)", d, fp.PeakAbs)
+	}
+}
+
+// TestTreeReduceNilEntries checks workers that contributed nothing
+// (nil partials) vanish from the sum instead of panicking.
+func TestTreeReduceNilEntries(t *testing.T) {
+	src := partialGrids(3, 8)
+	want := src[0].Clone()
+	want.AddGrid(src[2])
+	gs := []*grid.Grid{src[0], nil, src[2], nil}
+	got := TreeReduce(gs)
+	if got == nil || got.MaxAbsDiff(want) != 0 {
+		t.Fatal("nil partials changed the reduction")
+	}
+	if TreeReduce([]*grid.Grid{nil, nil}) != nil {
+		t.Fatal("all-nil reduction should be nil")
+	}
+	if TreeReduce(nil) != nil {
+		t.Fatal("empty reduction should be nil")
+	}
+}

@@ -1,0 +1,265 @@
+package distrib
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/server"
+)
+
+// Reduction stream: after a worker finishes gridding its partition it
+// dials the coordinator and sends
+//
+//	FrameHello | FrameBand* | FrameResult
+//
+// over the server package's length-prefixed CRC-64 frame format. The
+// bands carry only the rows the partial grid actually touched (sparse
+// partitions ship a fraction of the grid), chunked so each frame stays
+// under the payload cap; the closing result frame carries the sender's
+// fingerprint of the whole partial grid, which the coordinator
+// recomputes over the assembled bytes before accepting the partial —
+// a truncated or reordered stream is discarded, not merged.
+const (
+	// FrameHello opens a worker's reduction stream: payload = worker
+	// uint32 | workers uint32 | axis uint8 | plan fingerprint 32 bytes
+	// (the checkpoint.PlanFingerprint of the worker's sub-plan, so the
+	// coordinator can reject a worker gridding the wrong partition).
+	FrameHello byte = 16
+	// FrameBand carries rows [lo, hi) of every correlation plane of the
+	// partial grid: payload = gridSize uint32 | lo uint32 | hi uint32 |
+	// (hi-lo) rows per correlation plane of gridSize complex128 cells,
+	// each cell little-endian float64 (re, im) — the exact byte order of
+	// grid.(*Sharded).WriteBand and of the grid fingerprint.
+	FrameBand byte = 17
+	// FrameResult closes the stream: payload = worker uint32 | gridSize
+	// uint32 | nonzero uint64 | sumAbs float64 | peakAbs float64 |
+	// SHA-256 32 bytes, the sender's fingerprint of its partial grid.
+	FrameResult byte = 18
+)
+
+const (
+	helloPayloadBytes = 4 + 4 + 1 + 32
+	// bandPayloadHeader is the fixed prefix of a FrameBand payload.
+	bandPayloadHeader = 12
+	// cellBytes is the wire size of one grid cell (float64 re + im).
+	cellBytes          = 16
+	resultPayloadBytes = 4 + 4 + 8 + 8 + 8 + 32
+)
+
+// reduceRules is the frame-type table of the reduction stream; each
+// rule length-checks its type before the reader allocates the payload.
+var reduceRules = map[byte]server.FrameRule{
+	FrameHello: func(n int64) error {
+		if n != helloPayloadBytes {
+			return fmt.Errorf("distrib: FrameHello payload of %d bytes, want %d", n, helloPayloadBytes)
+		}
+		return nil
+	},
+	FrameBand: func(n int64) error {
+		if n < bandPayloadHeader || (n-bandPayloadHeader)%cellBytes != 0 {
+			return fmt.Errorf("distrib: FrameBand payload of %d bytes is not %d + k*%d", n, bandPayloadHeader, cellBytes)
+		}
+		return nil
+	},
+	FrameResult: func(n int64) error {
+		if n != resultPayloadBytes {
+			return fmt.Errorf("distrib: FrameResult payload of %d bytes, want %d", n, resultPayloadBytes)
+		}
+		return nil
+	},
+}
+
+// ReadReduceFrame decodes one reduction-stream frame, sharing the
+// server package's header/CRC machinery and its
+// validate-length-before-allocation contract. maxPayload <= 0 selects
+// server.DefaultMaxFramePayload.
+func ReadReduceFrame(r io.Reader, maxPayload int) (server.Frame, error) {
+	return server.ReadFrameRules(r, maxPayload, reduceRules)
+}
+
+// Hello announces one worker's reduction stream.
+type Hello struct {
+	Worker  int
+	Workers int
+	Axis    Axis
+	// PlanSum fingerprints the sub-plan the worker gridded.
+	PlanSum [32]byte
+}
+
+// EncodeHello builds the opening frame of a reduction stream.
+func EncodeHello(h Hello) server.Frame {
+	p := make([]byte, helloPayloadBytes)
+	binary.LittleEndian.PutUint32(p[0:], uint32(h.Worker))
+	binary.LittleEndian.PutUint32(p[4:], uint32(h.Workers))
+	p[8] = byte(h.Axis)
+	copy(p[9:], h.PlanSum[:])
+	return server.Frame{Type: FrameHello, Payload: p}
+}
+
+// DecodeHello decodes a FrameHello payload.
+func DecodeHello(f server.Frame) (Hello, error) {
+	if f.Type != FrameHello || len(f.Payload) != helloPayloadBytes {
+		return Hello{}, fmt.Errorf("distrib: decoding frame type %d (%d bytes) as FrameHello", f.Type, len(f.Payload))
+	}
+	h := Hello{
+		Worker:  int(binary.LittleEndian.Uint32(f.Payload[0:])),
+		Workers: int(binary.LittleEndian.Uint32(f.Payload[4:])),
+		Axis:    Axis(f.Payload[8]),
+	}
+	copy(h.PlanSum[:], f.Payload[9:])
+	if h.Axis != AxisRows && h.Axis != AxisWPlanes {
+		return Hello{}, fmt.Errorf("distrib: FrameHello with unknown axis %d", f.Payload[8])
+	}
+	return h, nil
+}
+
+// BandRowsPerFrame returns how many grid rows (all four correlation
+// planes) fit in one FrameBand under the payload cap, at least 1 so
+// even a cap below one row's bytes still makes progress (the frame
+// then exceeds the cap and the read side rejects it — a configuration
+// error surfaced loudly rather than an infinite loop).
+func BandRowsPerFrame(gridSize, maxPayload int) int {
+	if maxPayload <= 0 {
+		maxPayload = server.DefaultMaxFramePayload
+	}
+	rows := (maxPayload - bandPayloadHeader) / (grid.NrCorrelations * cellBytes * gridSize)
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// EncodeBand builds a FrameBand for rows [lo, hi) of g.
+func EncodeBand(g *grid.Grid, lo, hi int) (server.Frame, error) {
+	if lo < 0 || hi > g.N || lo >= hi {
+		return server.Frame{}, fmt.Errorf("distrib: band rows [%d, %d) outside %d-row grid", lo, hi, g.N)
+	}
+	p := make([]byte, bandPayloadHeader+grid.NrCorrelations*(hi-lo)*g.N*cellBytes)
+	binary.LittleEndian.PutUint32(p[0:], uint32(g.N))
+	binary.LittleEndian.PutUint32(p[4:], uint32(lo))
+	binary.LittleEndian.PutUint32(p[8:], uint32(hi))
+	off := bandPayloadHeader
+	for c := 0; c < grid.NrCorrelations; c++ {
+		for _, v := range g.Data[c][lo*g.N : hi*g.N] {
+			binary.LittleEndian.PutUint64(p[off:], math.Float64bits(real(v)))
+			binary.LittleEndian.PutUint64(p[off+8:], math.Float64bits(imag(v)))
+			off += cellBytes
+		}
+	}
+	return server.Frame{Type: FrameBand, Payload: p}, nil
+}
+
+// DecodeBandInto restores a FrameBand's rows into dst (overwriting,
+// not accumulating: bands of one stream are disjoint) and returns the
+// row range it covered. The embedded grid size and row range are
+// cross-checked against dst and the payload length before any write.
+func DecodeBandInto(dst *grid.Grid, f server.Frame) (lo, hi int, err error) {
+	if f.Type != FrameBand || len(f.Payload) < bandPayloadHeader {
+		return 0, 0, fmt.Errorf("distrib: decoding frame type %d (%d bytes) as FrameBand", f.Type, len(f.Payload))
+	}
+	n := int(binary.LittleEndian.Uint32(f.Payload[0:]))
+	lo = int(binary.LittleEndian.Uint32(f.Payload[4:]))
+	hi = int(binary.LittleEndian.Uint32(f.Payload[8:]))
+	if n != dst.N {
+		return 0, 0, fmt.Errorf("distrib: band for a %d-pixel grid arriving at a %d-pixel grid", n, dst.N)
+	}
+	if lo < 0 || hi > n || lo >= hi {
+		return 0, 0, fmt.Errorf("distrib: band rows [%d, %d) outside %d-row grid", lo, hi, n)
+	}
+	want := bandPayloadHeader + grid.NrCorrelations*(hi-lo)*n*cellBytes
+	if len(f.Payload) != want {
+		return 0, 0, fmt.Errorf("distrib: band [%d, %d) carries %d payload bytes, want %d", lo, hi, len(f.Payload), want)
+	}
+	off := bandPayloadHeader
+	for c := 0; c < grid.NrCorrelations; c++ {
+		row := dst.Data[c][lo*n : hi*n]
+		for i := range row {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(f.Payload[off:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(f.Payload[off+8:]))
+			row[i] = complex(re, im)
+			off += cellBytes
+		}
+	}
+	return lo, hi, nil
+}
+
+// Fingerprint pins the exact bits of a (partial or final) grid — the
+// internal twin of the facade's GridFingerprint, with the SHA-256 as
+// raw bytes. Two fingerprints of bit-identical grids compare equal
+// with ==.
+type Fingerprint struct {
+	GridSize int
+	Nonzero  int64
+	SumAbs   float64
+	PeakAbs  float64
+	SHA256   [32]byte
+}
+
+// FingerprintOf hashes and summarizes g in the repository's canonical
+// grid byte order: correlation-plane-major, each cell little-endian
+// float64 (re, im) — the same bytes FrameBand carries, so a grid
+// assembled from a full-cover band stream fingerprints identically to
+// the sender's.
+func FingerprintOf(g *grid.Grid) Fingerprint {
+	h := sha256.New()
+	var buf [cellBytes]byte
+	fp := Fingerprint{GridSize: g.N}
+	for c := 0; c < grid.NrCorrelations; c++ {
+		for _, v := range g.Data[c] {
+			binary.LittleEndian.PutUint64(buf[0:], math.Float64bits(real(v)))
+			binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(imag(v)))
+			h.Write(buf[:])
+			a := math.Hypot(real(v), imag(v))
+			fp.SumAbs += a
+			if a > fp.PeakAbs {
+				fp.PeakAbs = a
+			}
+			if v != 0 {
+				fp.Nonzero++
+			}
+		}
+	}
+	h.Sum(fp.SHA256[:0])
+	return fp
+}
+
+// Result closes a worker's reduction stream with its partial-grid
+// fingerprint.
+type Result struct {
+	Worker      int
+	Fingerprint Fingerprint
+}
+
+// EncodeResult builds the closing frame of a reduction stream.
+func EncodeResult(r Result) server.Frame {
+	p := make([]byte, resultPayloadBytes)
+	binary.LittleEndian.PutUint32(p[0:], uint32(r.Worker))
+	binary.LittleEndian.PutUint32(p[4:], uint32(r.Fingerprint.GridSize))
+	binary.LittleEndian.PutUint64(p[8:], uint64(r.Fingerprint.Nonzero))
+	binary.LittleEndian.PutUint64(p[16:], math.Float64bits(r.Fingerprint.SumAbs))
+	binary.LittleEndian.PutUint64(p[24:], math.Float64bits(r.Fingerprint.PeakAbs))
+	copy(p[32:], r.Fingerprint.SHA256[:])
+	return server.Frame{Type: FrameResult, Payload: p}
+}
+
+// DecodeResult decodes a FrameResult payload.
+func DecodeResult(f server.Frame) (Result, error) {
+	if f.Type != FrameResult || len(f.Payload) != resultPayloadBytes {
+		return Result{}, fmt.Errorf("distrib: decoding frame type %d (%d bytes) as FrameResult", f.Type, len(f.Payload))
+	}
+	r := Result{
+		Worker: int(binary.LittleEndian.Uint32(f.Payload[0:])),
+		Fingerprint: Fingerprint{
+			GridSize: int(binary.LittleEndian.Uint32(f.Payload[4:])),
+			Nonzero:  int64(binary.LittleEndian.Uint64(f.Payload[8:])),
+			SumAbs:   math.Float64frombits(binary.LittleEndian.Uint64(f.Payload[16:])),
+			PeakAbs:  math.Float64frombits(binary.LittleEndian.Uint64(f.Payload[24:])),
+		},
+	}
+	copy(r.Fingerprint.SHA256[:], f.Payload[32:])
+	return r, nil
+}

@@ -1,0 +1,233 @@
+package distrib
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/server"
+)
+
+// frameBytes encodes one frame to raw wire bytes.
+func frameBytes(t testing.TB, f server.Frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := server.WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// testGrid fills a small grid with a deterministic non-trivial
+// pattern (every plane different, some zero rows top and bottom).
+func testGrid(n int) *grid.Grid {
+	g := grid.NewGrid(n)
+	for c := 0; c < grid.NrCorrelations; c++ {
+		for y := 2; y < n-1; y++ {
+			for x := 0; x < n; x++ {
+				g.Set(c, y, x, complex(float64(c*n*n+y*n+x), -float64(x+1)))
+			}
+		}
+	}
+	return g
+}
+
+// TestHelloRoundTrip round-trips the stream-opening frame.
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Worker: 3, Workers: 8, Axis: AxisWPlanes}
+	for i := range h.PlanSum {
+		h.PlanSum[i] = byte(i * 7)
+	}
+	f, err := ReadReduceFrame(bytes.NewReader(frameBytes(t, EncodeHello(h))), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHello(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("hello round-trip: got %+v, want %+v", got, h)
+	}
+}
+
+// TestResultRoundTrip round-trips the closing fingerprint frame.
+func TestResultRoundTrip(t *testing.T) {
+	r := Result{Worker: 5, Fingerprint: FingerprintOf(testGrid(16))}
+	f, err := ReadReduceFrame(bytes.NewReader(frameBytes(t, EncodeResult(r))), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != r {
+		t.Fatalf("result round-trip: got %+v, want %+v", got, r)
+	}
+}
+
+// TestBandRoundTrip streams a grid band by band into a fresh grid and
+// requires bit-identity — the fingerprint must survive the wire.
+func TestBandRoundTrip(t *testing.T) {
+	src := testGrid(24)
+	dst := grid.NewGrid(24)
+	lo, hi := NonzeroRowSpan(src)
+	if lo != 2 || hi != 23 {
+		t.Fatalf("NonzeroRowSpan = [%d, %d), want [2, 23)", lo, hi)
+	}
+	for y := lo; y < hi; y += 5 {
+		end := min(y+5, hi)
+		ef, err := EncodeBand(src, y, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := ReadReduceFrame(bytes.NewReader(frameBytes(t, ef)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		glo, ghi, err := DecodeBandInto(dst, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if glo != y || ghi != end {
+			t.Fatalf("band decoded as [%d, %d), want [%d, %d)", glo, ghi, y, end)
+		}
+	}
+	if FingerprintOf(dst) != FingerprintOf(src) {
+		t.Fatal("grid changed across the band stream")
+	}
+}
+
+// TestBandRejects covers the header cross-checks that run before any
+// cell is written.
+func TestBandRejects(t *testing.T) {
+	src := testGrid(8)
+	f, err := EncodeBand(src, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeBandInto(grid.NewGrid(16), f); err == nil || !strings.Contains(err.Error(), "16-pixel") {
+		t.Errorf("band for the wrong grid size accepted: %v", err)
+	}
+	if _, err := EncodeBand(src, 4, 4); err == nil {
+		t.Error("EncodeBand accepted an empty row range")
+	}
+	if _, err := EncodeBand(src, -1, 4); err == nil {
+		t.Error("EncodeBand accepted a negative lo")
+	}
+	// A band whose payload length disagrees with its row range must be
+	// rejected by the decoder even though the frame layer accepted it
+	// (the length is a valid k*cellBytes, just not this range's k).
+	bad := server.Frame{Type: FrameBand, Payload: f.Payload[:len(f.Payload)-16]}
+	if _, _, err := DecodeBandInto(grid.NewGrid(8), bad); err == nil {
+		t.Error("DecodeBandInto accepted a short payload")
+	}
+}
+
+// TestReduceFrameSizeChecks pins the validate-before-allocate
+// contract: declared lengths that no reduction frame can have are
+// rejected from the 10-byte header alone, before any payload is read
+// or allocated — including a FrameBand length field claiming ~4 GiB.
+func TestReduceFrameSizeChecks(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(b []byte)
+		errPart string
+	}{
+		{"hello wrong length", func(b []byte) { b[6] = 12 }, "FrameHello payload"},
+		{"band not whole cells", func(b []byte) { b[5] = FrameBand; b[6] = 13 }, "FrameBand payload"},
+		{"result wrong length", func(b []byte) { b[5] = FrameResult; b[6] = 1 }, "FrameResult payload"},
+		{"unknown type", func(b []byte) { b[5] = 99 }, "unknown frame type"},
+		{"session type on reduce stream", func(b []byte) { b[5] = server.FrameVis; b[6] = 44 }, "unknown frame type"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := frameBytes(t, EncodeHello(Hello{Workers: 1}))
+			c.mutate(b)
+			_, err := ReadReduceFrame(bytes.NewReader(b[:10]), 0)
+			if err == nil || !strings.Contains(err.Error(), c.errPart) {
+				t.Fatalf("got %v, want error containing %q (from the header alone)", err, c.errPart)
+			}
+		})
+	}
+	// Huge declared band length: valid shape (header + k cells) but
+	// over the cap; only the 10 header bytes exist, so an attempted
+	// allocation of the declared 4 GiB would OOM or ReadFull would
+	// error differently — the cap check must fire first.
+	b := frameBytes(t, EncodeHello(Hello{Workers: 1}))[:10]
+	b[5] = FrameBand
+	b[6], b[7], b[8], b[9] = 0x0c, 0x00, 0x00, 0xff // 0xff00000c = header + k*16
+	if _, err := ReadReduceFrame(bytes.NewReader(b), 1<<20); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("4 GiB declared band length not stopped by the cap: %v", err)
+	}
+}
+
+// TestFingerprintDistinguishes sanity-checks the internal fingerprint:
+// equal grids compare equal, a one-ulp change does not.
+func TestFingerprintDistinguishes(t *testing.T) {
+	a, b := testGrid(12), testGrid(12)
+	if FingerprintOf(a) != FingerprintOf(b) {
+		t.Fatal("identical grids fingerprint differently")
+	}
+	b.Add(2, 5, 5, complex(0, 1e-9)) // above the cell's ulp, invisible to a tolerance check
+	if FingerprintOf(a) == FingerprintOf(b) {
+		t.Fatal("perturbed grid fingerprints identically")
+	}
+}
+
+// FuzzReadReduceFrame fuzzes the reduction-stream reader with a small
+// payload cap: it must never panic, never allocate more than the cap
+// (the band rule and cap check run on the declared length before the
+// payload allocation), and any accepted frame must decode or be
+// rejected cleanly by its typed decoder.
+func FuzzReadReduceFrame(f *testing.F) {
+	g := testGrid(8)
+	band, _ := EncodeBand(g, 2, 6)
+	seeds := [][]byte{
+		frameBytes(f, EncodeHello(Hello{Worker: 1, Workers: 4, Axis: AxisRows})),
+		frameBytes(f, band),
+		frameBytes(f, EncodeResult(Result{Worker: 2, Fingerprint: FingerprintOf(g)})),
+	}
+	// A two-frame stream, a truncated band and a corrupt-length band
+	// round out the committed corpus shapes.
+	seeds = append(seeds, append(append([]byte{}, seeds[0]...), seeds[2]...))
+	seeds = append(seeds, seeds[1][:20])
+	hugeband := append([]byte{}, seeds[1]...)
+	hugeband[6], hugeband[7], hugeband[8], hugeband[9] = 0x0c, 0x00, 0x00, 0xff
+	seeds = append(seeds, hugeband)
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		dst := grid.NewGrid(8)
+		for {
+			fr, err := ReadReduceFrame(r, 1<<16)
+			if err != nil {
+				if err == io.EOF && r.Len() != 0 {
+					t.Fatal("clean EOF with bytes left on the stream")
+				}
+				return
+			}
+			switch fr.Type {
+			case FrameHello:
+				if _, err := DecodeHello(fr); err != nil {
+					return
+				}
+			case FrameBand:
+				if _, _, err := DecodeBandInto(dst, fr); err != nil {
+					return
+				}
+			case FrameResult:
+				if _, err := DecodeResult(fr); err != nil {
+					return
+				}
+			default:
+				t.Fatalf("reader accepted unknown frame type %d", fr.Type)
+			}
+		}
+	})
+}

@@ -70,6 +70,30 @@ type Frame struct {
 	Payload []byte
 }
 
+// FrameRule validates the declared payload length of one frame type
+// before any allocation happens. Protocols built on the frame layer
+// (the session stream here, the distributed reduction stream in
+// internal/distrib) each register their own type table; a frame whose
+// type has no rule is rejected as unknown.
+type FrameRule func(payloadLen int64) error
+
+// sessionRules is the frame-type table of the visibility session
+// stream.
+var sessionRules = map[byte]FrameRule{
+	FrameVis: func(n int64) error {
+		if n < visPayloadHeader || (n-visPayloadHeader)%VisSampleBytes != 0 {
+			return fmt.Errorf("server: FrameVis payload of %d bytes is not %d + k*%d", n, visPayloadHeader, VisSampleBytes)
+		}
+		return nil
+	},
+	FrameDone: func(n int64) error {
+		if n != 0 {
+			return fmt.Errorf("server: FrameDone with %d payload bytes", n)
+		}
+		return nil
+	},
+}
+
 // VisChunk is a decoded FrameVis: a run of samples of one baseline,
 // starting at SampleOffset in the baseline's t*nrChannels+c sample
 // order. Samples holds 8 float32 per visibility in dataio order.
@@ -101,12 +125,21 @@ func WriteFrame(w io.Writer, f Frame) error {
 	return err
 }
 
-// ReadFrame decodes one frame, enforcing the payload cap (<= 0 selects
-// DefaultMaxFramePayload) before allocating. io.EOF is returned
-// unwrapped only when the stream ends cleanly between frames, so
-// callers can treat it as end-of-stream; a frame cut off mid-way is
-// io.ErrUnexpectedEOF.
+// ReadFrame decodes one session-stream frame, enforcing the payload
+// cap (<= 0 selects DefaultMaxFramePayload) before allocating. io.EOF
+// is returned unwrapped only when the stream ends cleanly between
+// frames, so callers can treat it as end-of-stream; a frame cut off
+// mid-way is io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
+	return ReadFrameRules(r, maxPayload, sessionRules)
+}
+
+// ReadFrameRules decodes one frame whose type must appear in rules;
+// the matching rule validates the declared payload length (and the
+// cap is enforced) before the payload allocation. It is the shared
+// entry point behind ReadFrame and the distributed reduction stream's
+// reader.
+func ReadFrameRules(r io.Reader, maxPayload int, rules map[byte]FrameRule) (Frame, error) {
 	if maxPayload <= 0 {
 		maxPayload = DefaultMaxFramePayload
 	}
@@ -129,17 +162,12 @@ func ReadFrame(r io.Reader, maxPayload int) (Frame, error) {
 	f := Frame{Type: hdr[5]}
 	n := int64(binary.LittleEndian.Uint32(hdr[6:]))
 	// Type- and cap-check the length before the payload allocation.
-	switch f.Type {
-	case FrameVis:
-		if n < visPayloadHeader || (n-visPayloadHeader)%VisSampleBytes != 0 {
-			return Frame{}, fmt.Errorf("server: FrameVis payload of %d bytes is not %d + k*%d", n, visPayloadHeader, VisSampleBytes)
-		}
-	case FrameDone:
-		if n != 0 {
-			return Frame{}, fmt.Errorf("server: FrameDone with %d payload bytes", n)
-		}
-	default:
+	rule, ok := rules[f.Type]
+	if !ok {
 		return Frame{}, fmt.Errorf("server: unknown frame type %d", f.Type)
+	}
+	if err := rule(n); err != nil {
+		return Frame{}, err
 	}
 	if n > int64(maxPayload) {
 		return Frame{}, fmt.Errorf("server: frame payload of %d bytes exceeds the %d-byte cap", n, maxPayload)

@@ -386,6 +386,32 @@ func (o *Observation) FillFromModel(model SkyModel) error {
 	return nil
 }
 
+// FillFromModelPlan predicts only the visibility blocks the current
+// plan covers. It is the distributed worker's fill path: after the
+// plan is filtered to one partition, the worker predicts just its
+// partition's samples — per-worker fill cost shrinks with the
+// partition instead of staying proportional to the full observation.
+// Covered samples get bit-identical values to FillFromModel's (the
+// prediction is per-sample); uncovered samples stay zero, and the
+// gridding pass never reads them.
+func (o *Observation) FillFromModelPlan(model SkyModel) error {
+	if err := o.AllocateVisibilities(); err != nil {
+		return err
+	}
+	freqs := o.Config.Frequencies()
+	for i := range o.Plan.Items {
+		it := &o.Plan.Items[i]
+		for t := it.TimeStart; t < it.TimeStart+it.NrTimesteps; t++ {
+			coord := o.Vis.UVW[it.Baseline][t]
+			for ch := it.Channel0; ch < it.Channel0+it.NrChannels; ch++ {
+				sc := coord.Scale(freqs[ch])
+				o.Vis.Data[it.Baseline][t*o.Vis.NrChannels+ch] = model.Predict(sc.U, sc.V, sc.W)
+			}
+		}
+	}
+	return nil
+}
+
 // GridAll grids every visibility onto a fresh grid and returns it
 // with the stage times. The context cancels or deadline-bounds the
 // run; item failures fail fast — see GridAllFT for other policies.

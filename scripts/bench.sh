@@ -9,10 +9,21 @@
 #   scripts/bench.sh          # full run, rewrites BENCH_kernels.json
 #   scripts/bench.sh -short   # 1-iteration smoke run (CI); result is
 #                             # parsed and validated but not committed
+#   scripts/bench.sh -distrib # re-measure the distributed scalability
+#                             # benchmark and rewrite BENCH_distrib.json
+#                             # (best of 3 runs, matching the CI gate)
 #
-# BENCH_OUT overrides the output path in either mode.
+# BENCH_OUT overrides the output path in any mode.
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-distrib" ]; then
+    out="${BENCH_OUT:-BENCH_distrib.json}"
+    go test -run '^$' -bench 'BenchmarkDistribScale' -benchtime "${BENCH_TIME:-1s}" -count 3 . |
+        go run ./cmd/benchjson -best > "$out"
+    echo "bench.sh: wrote $out" >&2
+    exit 0
+fi
 
 bench='BenchmarkGridderKernel$|BenchmarkGridderKernelFloat32$|BenchmarkDegridderKernel$|BenchmarkDegridderKernelFloat32$|BenchmarkFullGriddingPass$|BenchmarkFullDegriddingPass$|BenchmarkAdderKernel$|BenchmarkAdderSharded$|BenchmarkSplitterSharded$|BenchmarkStreamedGriddingPass$|BenchmarkSubgridFFTStage$|BenchmarkGridFFT2048$'
 out="${BENCH_OUT:-BENCH_kernels.json}"

@@ -16,7 +16,7 @@ GOOS=linux GOARCH=arm64 go build ./...
 # Fast-fail race pass over the concurrency-heavy packages (pipelines,
 # fault tolerance, the lock-free metrics/tracer, the session server)
 # in short mode before paying for the full raced suite below.
-go test -race -short ./internal/core/... ./internal/faulttol/... ./internal/obs/... ./internal/checkpoint/... ./internal/server/...
+go test -race -short ./internal/core/... ./internal/faulttol/... ./internal/obs/... ./internal/checkpoint/... ./internal/server/... ./internal/distrib/...
 # The same short race pass with the SIMD tier forced down via the
 # IDG_SIMD override: the scalar tier runs the generic Go tiles, the
 # avx2 tier runs the 4/8-lane AVX2 kernels on hosts whose detected
@@ -29,14 +29,22 @@ go test -race -count=2 ./internal/faultinject/ ./internal/faulttol/
 # Kill-and-resume chaos harness and the checkpoint round-trip golden
 # test run raced here: the crash hooks panic on the scheduler's
 # coordinating goroutine and the resumed grid must still hash to the
-# committed golden fingerprint.
-go test -race -run 'Facade|Chaos|Cancel|Shard|Soak|Streamed|Checkpoint|Resume|Kill' . ./internal/core/ ./internal/checkpoint/
+# committed golden fingerprint. 'Distrib' pulls in the distributed
+# coordinator chaos suite: concurrent reduction streams, worker kills
+# mid-reduction, and relaunch-with-resume, all under the race
+# detector.
+go test -race -run 'Facade|Chaos|Cancel|Shard|Soak|Streamed|Checkpoint|Resume|Kill|Distrib' . ./internal/core/ ./internal/checkpoint/ ./internal/distrib/
 # Server integration pass: build the service binaries, boot idgserver
 # on a kernel-assigned port, replay a short multi-tenant idgload run
 # with -verify (every session's grid SHA-256 checked against the
 # locally computed golden hash), then SIGTERM and require a clean
 # drain (the server exits non-zero if any session survives it).
 scripts/server_smoke.sh
+# Distributed integration pass: coordinator + 4 exec'd worker
+# processes, run clean and then with one worker killed mid-stream;
+# both runs must print the same final grid SHA-256 and the chaos run
+# must report exactly one restart.
+scripts/distrib_smoke.sh
 scripts/bench.sh -short
 
 # Performance regression gate: briefly re-measure the four kernel
@@ -58,3 +66,13 @@ trap 'rm -f "$out"' EXIT
 go test -run '^$' -bench 'BenchmarkGridderKernel$|BenchmarkGridderKernelFloat32$|BenchmarkDegridderKernel$|BenchmarkDegridderKernelFloat32$|BenchmarkSubgridFFTStage$|BenchmarkGridFFT2048$' -benchtime 1s -count 3 . |
     go run ./cmd/benchjson > "$out"
 go run ./cmd/benchjson -compare -allow-missing -threshold "${BENCH_THRESHOLD:-10}" BENCH_kernels.json "$out"
+# Distributed scalability gate: re-measure the 1/2/4/8-worker
+# distributed passes and compare against BENCH_distrib.json. The
+# threshold is looser (default 30 percent) because each sample is a
+# whole multi-worker pass — process scheduling noise dwarfs kernel
+# noise — but a fill that reverts to the full visibility set per
+# worker or a wire path that ships full zero grids still blows far
+# past it at workers=8.
+go test -run '^$' -bench 'BenchmarkDistribScale' -benchtime 1s -count 3 . |
+    go run ./cmd/benchjson > "$out"
+go run ./cmd/benchjson -compare -threshold "${BENCH_DISTRIB_THRESHOLD:-30}" BENCH_distrib.json "$out"
